@@ -1,0 +1,54 @@
+"""Benchmark fixtures: medium-scale worlds, built once per session.
+
+Each benchmark regenerates one paper table/figure: it runs the experiment
+(timed via pytest-benchmark), prints the same rows/series the paper
+reports, and asserts the *shape* criteria from DESIGN.md §4.  Absolute
+numbers come from a calibrated simulation, not the authors' testbed; the
+comparisons (who wins, by what factor, where crossovers fall) are the
+reproduced result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import World, build_world
+
+#: One shared seed so every figure is regenerated from the same world.
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def medium_world() -> World:
+    """Medium Internet, geo routing on, exact GeoIP."""
+    return build_world("medium", seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def medium_world_pair(medium_world: World) -> World:
+    """Medium world plus the hot-potato "before" deployment."""
+    medium_world.require_before()
+    return medium_world
+
+
+@pytest.fixture(scope="session")
+def medium_world_with_errors() -> World:
+    """Medium world with the paper's GeoIP error models injected."""
+    return build_world("medium", seed=BENCH_SEED, geoip_errors=True)
+
+
+@pytest.fixture
+def show(capsys):
+    """Print experiment rows to the real terminal despite capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

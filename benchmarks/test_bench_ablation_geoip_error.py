@@ -1,0 +1,59 @@
+"""Ablation: Fig. 3 precision as a function of GeoIP database quality.
+
+The paper relies on "information from a single commercial GeoIP database"
+being good enough.  This ablation sweeps database quality — exact, mild
+noise, paper-level errors (centroid collapse + stale WHOIS + noise) — and
+reports the precision metric of Fig. 3 for each.  The reflectors are
+rebuilt per level: database quality matters at route-import time.
+"""
+
+from repro.experiments import fig3_precision
+from repro.experiments.common import World, WorldScale, build_world, paper_geoip_errors
+from repro.geo.errors import RandomNoiseError
+from repro.vns.builder import VnsConfig
+from repro.vns.service import VideoNetworkService
+
+from .conftest import BENCH_SEED, run_once
+
+
+def test_bench_ablation_geoip_error(benchmark, show):
+    base = build_world("small", seed=BENCH_SEED + 2)
+
+    def sweep():
+        results = {"exact": fig3_precision.run(base)}
+        for label, errors in (
+            ("noise-60pct-35km", [RandomNoiseError(mean_km=35.0, fraction=0.6)]),
+            ("paper-errors", paper_geoip_errors()),
+        ):
+            service = VideoNetworkService.build(
+                vns_config=VnsConfig(max_peers=8),
+                seed=BENCH_SEED + 2,
+                geoip_errors=errors,
+                topology=base.topology,
+                routing=base.routing,
+            )
+            world = World(
+                scale=WorldScale.SMALL, seed=BENCH_SEED + 2, service=service
+            )
+            results[label] = fig3_precision.run(world)
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    lines = ["Ablation — GeoIP error level vs geo-routing precision:"]
+    for label, result in results.items():
+        lines.append(
+            f"  {label:<18} <=10ms: {result.fraction_within(10.0) * 100:5.1f}%"
+            f"  <=20ms: {result.fraction_within(20.0) * 100:5.1f}%"
+            f"  outliers: {len(result.outliers(80.0))}"
+        )
+    show("\n".join(lines))
+
+    exact = results["exact"]
+    noisy = results["noise-60pct-35km"]
+    paper = results["paper-errors"]
+    # Precision degrades as the database degrades.
+    assert exact.fraction_within(20.0) >= noisy.fraction_within(20.0) - 0.02
+    assert noisy.fraction_within(20.0) >= paper.fraction_within(20.0) - 0.05
+    # The big error classes, not the mild noise, create the outliers.
+    assert len(paper.outliers(80.0)) > len(noisy.outliers(80.0))

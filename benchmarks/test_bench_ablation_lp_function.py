@@ -1,0 +1,66 @@
+"""Ablation: the shape of ``lp = f(d)`` (Sec. 3.2).
+
+The paper's reflector maps distance to LOCAL_PREF with some function f;
+this ablation compares a fine-grained linear mapping against coarse
+stepped bucketings.  Coarse buckets create preference ties among
+near-equidistant egresses, which the later (hot-potato) decision stages
+then break — trading geo-optimality for tie-level traffic engineering
+freedom.
+"""
+
+import functools
+
+from repro.experiments.common import World, WorldScale, build_world
+from repro.geo.coords import great_circle_km
+from repro.vns.builder import VnsConfig
+from repro.vns.geo_rr import linear_lp, stepped_lp
+from repro.vns.pop import POPS
+from repro.vns.service import VideoNetworkService
+
+from .conftest import BENCH_SEED, run_once
+
+
+def _geo_match_fraction(service: VideoNetworkService) -> float:
+    matches = 0
+    total = 0
+    for prefix in service.topology.prefixes():
+        decision = service.egress_decision("AMS", prefix)
+        location = service.geoip.reported_location(prefix)
+        if decision is None or location is None:
+            continue
+        nearest = min(POPS, key=lambda pop: great_circle_km(pop.location, location))
+        total += 1
+        matches += nearest.code == decision.egress_pop
+    return matches / total if total else 0.0
+
+
+def test_bench_ablation_lp_function(benchmark, show):
+    base = build_world("small", seed=BENCH_SEED + 3)
+
+    def sweep():
+        results = {"linear (10km)": _geo_match_fraction(base.service)}
+        for label, fn in (
+            ("stepped 500km", functools.partial(stepped_lp, step_km=500.0)),
+            ("stepped 3000km", functools.partial(stepped_lp, step_km=3000.0)),
+        ):
+            service = VideoNetworkService.build(
+                vns_config=VnsConfig(max_peers=8, lp_function=fn),
+                seed=BENCH_SEED + 3,
+                topology=base.topology,
+                routing=base.routing,
+            )
+            results[label] = _geo_match_fraction(service)
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    lines = ["Ablation — lp = f(d) shape vs geo-optimal egress match:"]
+    for label, fraction in results.items():
+        lines.append(f"  {label:<16} nearest-PoP match: {fraction * 100:5.1f}%")
+    show("\n".join(lines))
+
+    # Fine-grained f(d) is geo-optimal; very coarse bucketing loses
+    # precision (ties decided by hot potato instead of geography).
+    assert results["linear (10km)"] > 0.95
+    assert results["stepped 500km"] >= results["stepped 3000km"] - 0.02
+    assert results["linear (10km)"] >= results["stepped 3000km"]

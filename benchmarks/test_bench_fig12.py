@@ -1,0 +1,52 @@
+"""Regenerates Fig. 12: diurnal loss patterns from San Jose (Sec. 5.2.3).
+
+Paper shape: loss toward EU/NA destinations peaks during those regions'
+local busy hours; loss toward AP follows AP's *local* cycle; CAHPs (and
+in AP even LTPs) show the home-user evening signature.
+"""
+
+import pytest
+
+from repro.experiments import fig12_diurnal
+from repro.experiments.lastmile import run_lastmile_campaign
+from repro.geo.regions import WorldRegion
+from repro.net.asn import ASType
+
+from .conftest import run_once
+
+AP = WorldRegion.ASIA_PACIFIC
+EU = WorldRegion.EUROPE
+NA = WorldRegion.NORTH_CENTRAL_AMERICA
+
+
+@pytest.fixture(scope="module")
+def campaign(medium_world):
+    return run_lastmile_campaign(
+        medium_world,
+        hosts_per_type_per_region=10,
+        days=4,
+        minutes_between_rounds=30.0,
+        pop_codes=("SJS",),
+    )
+
+
+def test_bench_fig12_diurnal(benchmark, medium_world, campaign, show):
+    result = run_once(benchmark, fig12_diurnal.run, medium_world, data=campaign)
+    show(fig12_diurnal.render(result))
+
+    # --- shape assertions -----------------------------------------------
+    # Clear diurnal swings for the residential-heavy types.
+    assert result.peak_to_trough(ASType.CAHP, AP) > 1.5
+    assert result.peak_to_trough(ASType.CAHP, EU) > 1.3
+    # Peaks land in destination-local waking windows for most curves.
+    hits = 0
+    total = 0
+    for as_type in (ASType.STP, ASType.CAHP, ASType.EC):
+        for region in (AP, EU, NA):
+            total += 1
+            hits += result.peak_within_local_window(as_type, region)
+    assert hits >= total - 2
+    # AP's local day dominates: most AP-destination loss occurs while AP
+    # is awake (00-16 CET; "drops as it ends around 3PM CET").
+    counts = result.hourly(ASType.CAHP, AP)
+    assert sum(counts[0:16]) > sum(counts[16:24])

@@ -1,0 +1,55 @@
+"""Regenerates Fig. 3: geo-based routing precision (Sec. 4.1).
+
+Paper shape: 90/84/82% of EU/NA/AP prefixes displaced ≤10 ms; 90% of all
+prefixes ≤20 ms; EU best, AP worst; scatter outlier clusters caused by
+GeoIP errors (Russian centroid / stale Indian WHOIS).  Includes the
+in-text AS-congruence statistic.
+"""
+
+from repro.experiments import fig3_precision
+from repro.geo.regions import PopRegion
+
+from .conftest import run_once
+
+
+def test_bench_fig3_precision(benchmark, medium_world_with_errors, show):
+    world = medium_world_with_errors
+    result = run_once(benchmark, fig3_precision.run, world)
+    congruence = fig3_precision.as_congruence(world, result)
+
+    show(
+        fig3_precision.render(result)
+        + f"\n  AS congruence: >=25% agree in "
+        f"{congruence.fraction_of_ases_with_agreement(0.25) * 100:.0f}% of ASes; "
+        f">=90% agree in "
+        f"{congruence.fraction_of_ases_with_agreement(0.9) * 100:.0f}%"
+    )
+
+    # --- shape assertions (DESIGN.md §4, fig3) -------------------------
+    assert len(result.records) > 0.75 * len(world.topology.prefixes())
+    # Overall: the bulk of prefixes land within 20 ms.
+    assert result.fraction_within(20.0) > 0.70
+    # Per-region precision is high everywhere.
+    for region in (PopRegion.EU, PopRegion.NA, PopRegion.AP):
+        assert result.fraction_within(20.0, region) > 0.55, region
+    # Outlier clusters exist when GeoIP errors are injected.
+    outliers = result.outliers(min_excess_ms=80.0)
+    assert len(outliers) >= 5
+    # AS congruence: prefixes of one AS are delay-closest to one PoP.
+    assert congruence.fraction_of_ases_with_agreement(0.25) > 0.9
+    assert congruence.fraction_of_ases_with_agreement(0.9) > 0.45
+
+
+def test_bench_fig3_scatter_clusters(benchmark, medium_world_with_errors, show):
+    """The right panel: y≈x clustering plus off-diagonal error clusters."""
+    world = medium_world_with_errors
+    result = run_once(benchmark, fig3_precision.run, world, max_prefixes=400)
+    scatter = result.scatter()
+    on_diagonal = sum(1 for best, geo in scatter if geo - best < 20.0)
+    show(
+        f"Fig 3 (right) — scatter: {len(scatter)} points, "
+        f"{on_diagonal} within 20ms of y=x, "
+        f"{len(result.outliers(80.0))} outlier-cluster points"
+    )
+    assert on_diagonal / len(scatter) > 0.7
+    assert len(result.outliers(80.0)) >= 3

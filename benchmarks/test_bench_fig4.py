@@ -1,0 +1,26 @@
+"""Regenerates Fig. 4: egress PoP selection before/after (Sec. 4.2.1).
+
+Paper shape: before geo-routing, PoP 10 (London) exits ~70% of routes
+locally; after, routes spread across all PoPs with no single egress
+dominating.
+"""
+
+from repro.experiments import fig4_egress
+
+from .conftest import run_once
+
+
+def test_bench_fig4_egress_distribution(benchmark, medium_world_pair, show):
+    result = run_once(benchmark, fig4_egress.run, medium_world_pair)
+    show(fig4_egress.render(result))
+
+    # --- shape assertions -----------------------------------------------
+    # Hot potato keeps most traffic local at London.
+    assert result.local_exit_pct("before") > 50.0
+    # Geo routing spreads egresses out.
+    assert result.local_exit_pct("after") < 25.0
+    assert result.max_share_pct("after") < 40.0
+    assert result.max_share_pct("after") < result.max_share_pct("before")
+    # All eleven PoPs participate after the change.
+    used_after = [pct for pct in result.after_pct.values() if pct > 0.5]
+    assert len(used_after) >= 9

@@ -1,0 +1,33 @@
+"""Regenerates Fig. 5: transit vs peer routes (Sec. 4.2.2).
+
+Paper shape: the transit share stays ~80% before and after; the first
+seven neighbours are upstreams; after geo-routing one upstream (strong NA
+footprint) pulls ahead.
+"""
+
+from repro.experiments import fig5_neighbors
+
+from .conftest import run_once
+
+
+def test_bench_fig5_neighbors(benchmark, medium_world_pair, show):
+    result = run_once(benchmark, fig5_neighbors.run, medium_world_pair)
+    show(fig5_neighbors.render(result))
+
+    # --- shape assertions -----------------------------------------------
+    # Inset: transit share stable around 80%.
+    assert 55.0 < result.transit_share_before_pct < 95.0
+    assert 60.0 < result.transit_share_after_pct < 95.0
+    assert (
+        abs(result.transit_share_after_pct - result.transit_share_before_pct) < 30.0
+    )
+    # Outer plot: upstreams first, peers after, both present.
+    assert len(result.upstream_rows()) >= 5
+    assert len(result.peer_rows()) >= 5
+    kinds = [row.is_upstream for row in result.neighbors]
+    assert kinds == sorted(kinds, reverse=True)
+    # A clear top upstream exists after the change.
+    shift = result.top_upstream_shift()
+    assert shift is not None
+    first, second = shift
+    assert first.after_pct > 0.0

@@ -1,0 +1,33 @@
+"""Regenerates Fig. 7: incoming anycast traffic by region (Sec. 4.4).
+
+Paper shape: each world region's TURN requests land predominantly on the
+geographically matching PoP region ("the incoming traffic follows
+geography to a large extent").
+"""
+
+from repro.experiments import fig7_incoming
+from repro.geo.regions import POP_REGION_FOR_WORLD_REGION, WorldRegion
+
+from .conftest import run_once
+
+
+def test_bench_fig7_incoming(benchmark, medium_world, show):
+    result = run_once(benchmark, fig7_incoming.run, medium_world, requests=6000)
+    show(fig7_incoming.render(result))
+
+    # --- shape assertions -----------------------------------------------
+    core_regions = (
+        WorldRegion.EUROPE,
+        WorldRegion.NORTH_CENTRAL_AMERICA,
+        WorldRegion.ASIA_PACIFIC,
+        WorldRegion.OCEANIA,
+    )
+    for region in core_regions:
+        assert result.follows_geography(region), region
+        dominant = POP_REGION_FOR_WORLD_REGION[region]
+        assert result.fraction(region, dominant) > 0.5, region
+    # Every world region produced traffic and was served somewhere.
+    assert len(result.matrix) == len(WorldRegion)
+    # Geography is followed for the majority of ALL regions.
+    follows = sum(result.follows_geography(region) for region in WorldRegion)
+    assert follows >= 5

@@ -1,0 +1,54 @@
+"""Regenerates Fig. 9: video-loss CCDFs, VNS vs transit (Sec. 5.1.1).
+
+Paper shape: VNS ("I-") curves sit below transit ("T-") everywhere; to AP
+destinations 10/5/43% of transit streams from Amsterdam/San Jose/Sydney
+exceed 0.15% loss while VNS stays below ~1%; jitter ≤10 ms for 99% of
+1080p and 97% of 720p streams.
+
+Scale note: the paper ran 576 videos/client/definition/day for two weeks;
+this bench runs a deterministic half-hourly schedule for 2 simulated days
+(~2300 sessions), preserving full diurnal coverage.
+"""
+
+from repro.experiments import fig9_video_loss
+from repro.geo.regions import PopRegion
+
+from .conftest import run_once
+
+
+def test_bench_fig9_video_loss(benchmark, medium_world, show):
+    result = run_once(
+        benchmark,
+        fig9_video_loss.run,
+        medium_world,
+        days=2,
+        minutes_between_rounds=30.0,
+        include_720p=True,
+    )
+    show(fig9_video_loss.render(result))
+
+    # --- shape assertions (DESIGN.md §4, fig9) ---------------------------
+    # VNS stochastically dominates transit for every measured pair.
+    for client in ("AMS", "SJS", "SYD"):
+        for region in (PopRegion.AP, PopRegion.EU, PopRegion.NA):
+            transit = result.fraction_over(client, region, "T")
+            vns = result.fraction_over(client, region, "I")
+            assert vns <= transit, (client, region)
+    # Transit to AP is bad; Sydney worst (paper: 10/5/43%).
+    assert result.fraction_over("AMS", PopRegion.AP, "T") > 0.04
+    assert result.fraction_over("SYD", PopRegion.AP, "T") > 0.20
+    assert result.fraction_over("SYD", PopRegion.AP, "T") > result.fraction_over(
+        "AMS", PopRegion.AP, "T"
+    )
+    # VNS keeps complaint-level loss below ~1% of streams everywhere.
+    for client in ("AMS", "SJS", "SYD"):
+        for region in PopRegion:
+            assert result.fraction_over(client, region, "I") < 0.03
+    # Intra-region VNS loss ~ zero.
+    assert result.fraction_over("AMS", PopRegion.EU, "I") < 0.01
+    # Jitter summary (Sec. 5.1.1).
+    from repro.media.codec import PROFILE_1080P, PROFILE_720P
+
+    assert result.jitter_fraction_below(PROFILE_1080P, 10.0) > 0.95
+    assert result.jitter_fraction_below(PROFILE_720P, 10.0) > 0.90
+    assert result.jitter_fraction_below(PROFILE_1080P, 20.0) > 0.99

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""A full video conference over VNS: TURN, SIP, RTP, instrumentation.
+
+Walks the application-layer path the paper describes: a user requests a
+TURN allocation against the anycast address (routing decides which PoP
+answers), SIP sets up a call to an echo server, and a bidirectional HD
+stream runs with the client instrumenting loss per five-second slot —
+first through VNS, then through the transit providers, side by side.
+
+Run:
+    python examples/video_conference.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import build_world
+from repro.media.client import InstrumentedClient
+from repro.media.codec import PROFILE_1080P, PROFILE_720P
+from repro.media.sip import EchoServer
+from repro.media.turn import TurnService
+from repro.net.asn import ASType
+
+
+def main() -> None:
+    world = build_world("small", seed=5)
+    service = world.service
+    rng = np.random.default_rng(6)
+
+    # --- TURN allocation over anycast -----------------------------------
+    turn = TurnService(service)
+    user = next(
+        s
+        for s in world.topology.ases.values()
+        if s.as_type is ASType.EC
+        and s.home.city.region.value == "Oceania"
+        and s.prefixes
+    )
+    location = world.topology.host_location(user.prefixes[0], rng)
+    allocation, entry_pop = turn.request("carol", user.asn, location)
+    print(f"User in {user.home.city.name} asks {turn.anycast_address} for a relay")
+    print(f"  anycast routing lands on PoP {entry_pop.code}; allocation {allocation}")
+
+    # --- SIP + RTP echo session through VNS and through transit ---------
+    echo_pop = "AMS"  # conference bridge on another continent
+    server = EchoServer(f"sip:echo-{echo_pop.lower()}@vns", echo_pop)
+    client = InstrumentedClient("carol", rng=rng)
+
+    last_mile = service.last_mile_path(user.prefixes[0], location, entry_pop.code)
+    via_vns = last_mile.concat(service.vns_internal_path(entry_pop.code, echo_pop))
+    via_transit = last_mile.concat(
+        service.path_between_pops_via_upstream(entry_pop.code, echo_pop)
+    )
+
+    print(f"\nEcho session {user.home.city.name} -> {echo_pop}:")
+    print(f"  via VNS     RTT {via_vns.rtt_ms():6.1f} ms over {len(via_vns)} segments")
+    print(f"  via transit RTT {via_transit.rtt_ms():6.1f} ms over {len(via_transit)} segments")
+
+    for profile in (PROFILE_1080P, PROFILE_720P):
+        print(f"\n  {profile.name} ({profile.packets_per_second:.0f} packets/s):")
+        for label, path in (("VNS", via_vns), ("transit", via_transit)):
+            sessions = [
+                client.run_session(server, path, profile, hour_cet=float(h % 24))
+                for h in range(20)
+            ]
+            ok = [s for s in sessions if s is not None]
+            losses = [s.loss_percent_out for s in ok]
+            jitters = [s.jitter_p95_ms for s in ok]
+            slots = [s.lossy_slots_out for s in ok]
+            print(
+                f"    {label:<8} {len(ok)}/20 calls up | "
+                f"mean loss {np.mean(losses):7.4f}% | "
+                f"worst lossy slots {max(slots):2d}/24 | "
+                f"p95 jitter {np.mean(jitters):5.2f} ms"
+            )
+
+    print(
+        "\nThe dedicated circuits remove the bursty long-haul loss; the last"
+        "\nmile is the same either way — exactly the paper's Fig. 9/10 story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Reproduction of "Geography Matters" (CoNEXT 2013).
+
+This package implements, as a laptop-scale simulation, the Video Network
+Service (VNS) described by Elmokashfi et al.: a network-layer overlay for
+video conferencing that keeps traffic on well-provisioned dedicated links as
+long as possible and hands it to the Internet at the PoP geographically
+closest to the destination ("cold potato" routing), implemented through a
+geo-aware BGP route reflector.
+
+Subpackages
+-----------
+``repro.geo``
+    Geodesy, world regions, city gazetteer, and a synthetic GeoIP database
+    with the error classes the paper observed in MaxMind data.
+``repro.net``
+    IPv4 addressing, a longest-prefix-match radix trie, Autonomous System
+    entities, and a synthetic AS-level Internet topology generator.
+``repro.bgp``
+    A BGP-4 implementation: path attributes, the RFC 4271 decision process,
+    Gao-Rexford policies, speakers with full RIBs, route reflection, the
+    best-external feature, and an AS-level propagation engine.
+``repro.igp``
+    Intra-AS link-state shortest-path routing (feeds BGP hot-potato).
+``repro.dataplane``
+    Delay, loss (Bernoulli / Gilbert-Elliott / congestion-coupled), diurnal
+    utilisation profiles, and packet- and slot-level transmission simulators.
+``repro.media``
+    HD video codec model, RTP streams, SIP clients and echo servers, TURN
+    relays, and the instrumented measurement client from Sec. 5.1.
+``repro.vns``
+    The paper's contribution: the overlay network of 11 PoPs, the geo-based
+    route reflector, the management override interface, and anycast service
+    addressing.
+``repro.measurement``
+    ICMP ping and back-to-back loss probes, schedulers, and statistics.
+``repro.experiments``
+    One module per paper figure/table; each returns the structured series
+    that the corresponding plot shows.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

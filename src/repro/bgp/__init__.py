@@ -1,0 +1,56 @@
+"""A BGP-4 implementation sized for simulating one AS and its neighbours.
+
+The geo-based routing of Sec. 3.2 is "a modified Quagga software router
+that acts as a route reflector".  To reproduce it faithfully — including
+the hidden-routes pathology and the best-external fix — this subpackage
+implements real BGP machinery:
+
+* RFC 4271 path attributes and the full decision process,
+* import/export policy (Gao-Rexford semantics, communities, ``no-export``),
+* speakers with Adj-RIB-In / Loc-RIB / Adj-RIB-Out and incremental updates,
+* RFC 4456 route reflection with ``ORIGINATOR_ID`` / ``CLUSTER_LIST``,
+* the "best external" advertisement feature (Sec. 3.2, "Hidden routes"),
+* a message engine with controllable delivery order, and
+* an AS-level valley-free propagation model for the synthetic Internet.
+"""
+
+from repro.bgp.attributes import (
+    NO_EXPORT,
+    AsPath,
+    Origin,
+    Route,
+)
+from repro.bgp.messages import Update, Withdraw
+from repro.bgp.decision import DecisionContext, best_route, decision_order
+from repro.bgp.policy import ExportPolicy, ImportPolicy, RelationshipExportPolicy
+from repro.bgp.rib import AdjRib, LocRib
+from repro.bgp.session import Session, SessionType
+from repro.bgp.router import BgpRouter
+from repro.bgp.reflector import RouteReflector
+from repro.bgp.engine import BgpEngine
+from repro.bgp.propagation import AsLevelRoute, AsLevelRouting, compute_routes_to_origin
+
+__all__ = [
+    "Origin",
+    "AsPath",
+    "Route",
+    "NO_EXPORT",
+    "Update",
+    "Withdraw",
+    "best_route",
+    "decision_order",
+    "DecisionContext",
+    "ImportPolicy",
+    "ExportPolicy",
+    "RelationshipExportPolicy",
+    "AdjRib",
+    "LocRib",
+    "Session",
+    "SessionType",
+    "BgpRouter",
+    "RouteReflector",
+    "BgpEngine",
+    "AsLevelRoute",
+    "AsLevelRouting",
+    "compute_routes_to_origin",
+]

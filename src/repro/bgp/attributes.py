@@ -1,0 +1,114 @@
+"""BGP path attributes (RFC 4271) and the route value type."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.net.addressing import Prefix
+
+#: Default LOCAL_PREF; the paper's geo-assigned values are "always much
+#: higher than the default value of 100".
+DEFAULT_LOCAL_PREF = 100
+
+#: The well-known ``no-export`` community (RFC 1997).  The management
+#: interface tags statically advertised more-specifics with it "to ensure
+#: that they never leak outside VNS network".
+NO_EXPORT = "no-export"
+
+
+class Origin(enum.IntEnum):
+    """ORIGIN attribute; lower is preferred in the decision process."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+@dataclass(frozen=True, slots=True)
+class AsPath:
+    """The AS_PATH attribute as a flat sequence (no AS_SETs needed here)."""
+
+    asns: tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.asns
+
+    def __iter__(self):
+        return iter(self.asns)
+
+    def prepend(self, asn: int, count: int = 1) -> "AsPath":
+        """A new path with ``asn`` prepended ``count`` times."""
+        if count < 1:
+            raise ValueError(f"prepend count must be >= 1, got {count!r}")
+        return AsPath(asns=(asn,) * count + self.asns)
+
+    @property
+    def first_hop(self) -> int | None:
+        """The neighbouring AS the route was learned from (path head)."""
+        return self.asns[0] if self.asns else None
+
+    @property
+    def origin_as(self) -> int | None:
+        """The AS originating the prefix (path tail)."""
+        return self.asns[-1] if self.asns else None
+
+    def has_loop(self, local_asn: int) -> bool:
+        """Loop detection: does the path already contain ``local_asn``?"""
+        return local_asn in self.asns
+
+    def __str__(self) -> str:
+        return " ".join(str(a) for a in self.asns) if self.asns else "(empty)"
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A route to a prefix, as stored in RIBs and carried in updates.
+
+    Transmission attributes (``as_path``, ``next_hop``, ``origin``, ``med``,
+    ``local_pref``, ``communities``, ``originator_id``, ``cluster_list``)
+    travel on the wire; reception metadata (``learned_from``, ``ebgp``) is
+    stamped by the receiving speaker and never transmitted.
+    """
+
+    prefix: Prefix
+    as_path: AsPath
+    next_hop: str
+    origin: Origin = Origin.IGP
+    med: int = 0
+    local_pref: int = DEFAULT_LOCAL_PREF
+    communities: frozenset[str] = field(default_factory=frozenset)
+    originator_id: str | None = None
+    cluster_list: tuple[str, ...] = ()
+    learned_from: str | None = None
+    ebgp: bool = False
+
+    @property
+    def neighbor_as(self) -> int | None:
+        """The neighbouring AS this route points at."""
+        return self.as_path.first_hop
+
+    def with_communities(self, *extra: str) -> "Route":
+        """A copy with additional communities."""
+        return replace(self, communities=self.communities | set(extra))
+
+    def received(self, learned_from: str, ebgp: bool) -> "Route":
+        """A copy stamped with reception metadata."""
+        return replace(self, learned_from=learned_from, ebgp=ebgp)
+
+    def reflected(self, originator: str, cluster_id: str) -> "Route":
+        """A copy with RFC 4456 reflection attributes updated."""
+        return replace(
+            self,
+            originator_id=self.originator_id or originator,
+            cluster_list=(cluster_id,) + self.cluster_list,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.prefix} via {self.next_hop} lp={self.local_pref} "
+            f"path=[{self.as_path}]"
+        )

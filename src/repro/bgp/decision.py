@@ -1,0 +1,128 @@
+"""The BGP best-route decision process (RFC 4271 §9.1, plus RFC 4456).
+
+Section 3.2 summarises the process as ordered tie-breakers: administrative
+preference (LOCAL_PREF) first, then AS-path length, then "a set of measures
+to ensure that inter-domain traffic exits the local AS quickly" — eBGP over
+iBGP and lowest IGP metric to the next hop, i.e. hot-potato routing.  The
+geo-based route reflector wins by acting at the *first* step: it assigns
+LOCAL_PREF from geographic distance, so all later hot-potato steps become
+irrelevant whenever geography discriminates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import Route
+
+
+def _no_igp_metric(next_hop: str) -> float:
+    """Default IGP metric when the speaker has no IGP view (flat cost)."""
+    return 0.0
+
+
+@dataclass(slots=True)
+class DecisionContext:
+    """Inputs the decision process needs beyond the candidate routes.
+
+    Parameters
+    ----------
+    igp_metric:
+        Metric from this speaker to a BGP next hop; drives hot-potato.
+    router_id:
+        The local speaker's identifier (used as default originator id).
+    always_compare_med:
+        If true, MED is compared across neighbour ASes too (the non-default
+        vendor knob); the paper's setup leaves this off.
+    """
+
+    igp_metric: Callable[[str], float] = field(default=_no_igp_metric)
+    router_id: str = ""
+    always_compare_med: bool = False
+
+
+def _stage_max(routes: list[Route], key: Callable[[Route], float]) -> list[Route]:
+    best = max(key(r) for r in routes)
+    return [r for r in routes if key(r) == best]
+
+
+def _stage_min(routes: list[Route], key: Callable[[Route], float]) -> list[Route]:
+    best = min(key(r) for r in routes)
+    return [r for r in routes if key(r) == best]
+
+
+def _med_stage(routes: list[Route], always_compare: bool) -> list[Route]:
+    """Keep routes that are lowest-MED within their neighbour-AS group.
+
+    With ``always_compare`` MED becomes a global minimum instead.
+    """
+    if always_compare:
+        return _stage_min(routes, lambda r: r.med)
+    lowest_by_neighbor: dict[int | None, int] = {}
+    for route in routes:
+        key = route.neighbor_as
+        if key not in lowest_by_neighbor or route.med < lowest_by_neighbor[key]:
+            lowest_by_neighbor[key] = route.med
+    return [r for r in routes if r.med == lowest_by_neighbor[r.neighbor_as]]
+
+
+def decision_order(routes: Sequence[Route], ctx: DecisionContext) -> list[Route]:
+    """All candidates that survive the decision process, best first.
+
+    The first element is the best route; remaining elements are the other
+    survivors of the last discriminating stage, in deterministic order.
+    """
+    if not routes:
+        return []
+    survivors = list(routes)
+
+    # 1. Highest LOCAL_PREF.
+    survivors = _stage_max(survivors, lambda r: r.local_pref)
+    # 2. Shortest AS_PATH.
+    survivors = _stage_min(survivors, lambda r: len(r.as_path))
+    # 3. Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+    survivors = _stage_min(survivors, lambda r: int(r.origin))
+    # 4. Lowest MED among routes from the same neighbour AS.
+    survivors = _med_stage(survivors, ctx.always_compare_med)
+    # 5. eBGP-learned over iBGP-learned.
+    if any(r.ebgp for r in survivors):
+        survivors = [r for r in survivors if r.ebgp]
+    # 6. Lowest IGP metric to the BGP next hop (hot potato).
+    survivors = _stage_min(survivors, lambda r: ctx.igp_metric(r.next_hop))
+    # 7. Shortest CLUSTER_LIST (RFC 4456 §9).
+    survivors = _stage_min(survivors, lambda r: len(r.cluster_list))
+    # 8. Lowest originator router id, then lowest peer id.  The AS path
+    #    itself closes the order (a speaker never holds two routes from
+    #    the same peer for one prefix, but the function stays total).
+    survivors.sort(
+        key=lambda r: (
+            r.originator_id or r.learned_from or "",
+            r.learned_from or "",
+            str(r.next_hop),
+            r.as_path.asns,
+            r.med,
+        )
+    )
+    return survivors
+
+
+def best_route(routes: Sequence[Route], ctx: DecisionContext | None = None) -> Route | None:
+    """The single best route among ``routes`` (``None`` if empty)."""
+    if ctx is None:
+        ctx = DecisionContext()
+    ordered = decision_order(routes, ctx)
+    return ordered[0] if ordered else None
+
+
+def best_external(routes: Sequence[Route], ctx: DecisionContext | None = None) -> Route | None:
+    """The best route among the eBGP-learned candidates only.
+
+    This is what the "BGP best external" feature advertises into iBGP when
+    the overall best route is iBGP-learned, keeping externally learned
+    routes visible to route reflectors (the paper's hidden-routes fix).
+    """
+    externals = [r for r in routes if r.ebgp]
+    if not externals:
+        return None
+    return best_route(externals, ctx)

@@ -1,0 +1,40 @@
+"""BGP UPDATE messages (announcements and withdrawals)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.attributes import Route
+from repro.net.addressing import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    """An announcement of a route, addressed between two speakers."""
+
+    sender: str
+    receiver: str
+    route: Route
+
+    @property
+    def prefix(self) -> Prefix:
+        return self.route.prefix
+
+    def __str__(self) -> str:
+        return f"UPDATE {self.sender}->{self.receiver}: {self.route}"
+
+
+@dataclass(frozen=True, slots=True)
+class Withdraw:
+    """A withdrawal of a previously announced prefix."""
+
+    sender: str
+    receiver: str
+    prefix: Prefix
+
+    def __str__(self) -> str:
+        return f"WITHDRAW {self.sender}->{self.receiver}: {self.prefix}"
+
+
+#: Either message kind.
+Message = Update | Withdraw

@@ -1,0 +1,175 @@
+"""Import and export policies.
+
+Two policy idioms from operational practice are reproduced:
+
+* On import over eBGP, routes get a LOCAL_PREF by business relationship
+  (customer > peer > provider) and a community recording that relationship.
+* On export over eBGP, Gao-Rexford: everything to customers; only
+  customer-learned or locally originated routes to peers and providers.
+
+The relationship community is what lets a border router, exporting a route
+that arrived over iBGP, still know where the route originally entered the
+AS — exactly how real networks implement valley-free export.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import replace
+
+from repro.bgp.attributes import DEFAULT_LOCAL_PREF, NO_EXPORT, Route
+from repro.bgp.session import Session
+from repro.net.relationships import Relationship
+
+#: Community tags recording how a route entered the AS.
+RELATIONSHIP_COMMUNITY = {
+    Relationship.CUSTOMER: "rel:customer",
+    Relationship.PEER: "rel:peer",
+    Relationship.PROVIDER: "rel:provider",
+}
+
+#: Conventional LOCAL_PREF ladder: prefer customer, then peer, then provider.
+RELATIONSHIP_LOCAL_PREF = {
+    Relationship.CUSTOMER: 300,
+    Relationship.PEER: 200,
+    Relationship.PROVIDER: 100,
+}
+
+
+class ImportPolicy(abc.ABC):
+    """Transforms (or rejects) a route received over a session."""
+
+    @abc.abstractmethod
+    def apply(self, route: Route, session: Session) -> Route | None:
+        """The transformed route, or ``None`` to reject it."""
+
+
+class ExportPolicy(abc.ABC):
+    """Decides whether (and how) a route is exported over a session."""
+
+    @abc.abstractmethod
+    def apply(self, route: Route, session: Session) -> Route | None:
+        """The route to send, or ``None`` to suppress the advertisement."""
+
+
+class AcceptAll(ImportPolicy):
+    """Accept everything unchanged."""
+
+    def apply(self, route: Route, session: Session) -> Route | None:
+        return route
+
+
+class ExportAll(ExportPolicy):
+    """Export everything unchanged (still subject to router mechanics)."""
+
+    def apply(self, route: Route, session: Session) -> Route | None:
+        return route
+
+
+class RelationshipImportPolicy(ImportPolicy):
+    """Set LOCAL_PREF and a relationship community on eBGP import.
+
+    Parameters
+    ----------
+    relationships:
+        Relationship of each neighbouring AS, seen from the local AS.
+    local_pref:
+        LOCAL_PREF per relationship; defaults to the conventional ladder.
+    """
+
+    def __init__(
+        self,
+        relationships: dict[int, Relationship],
+        local_pref: dict[Relationship, int] | None = None,
+    ) -> None:
+        self._relationships = dict(relationships)
+        self._local_pref = dict(local_pref or RELATIONSHIP_LOCAL_PREF)
+
+    def relationship_of(self, peer_asn: int) -> Relationship:
+        """The configured relationship of a neighbour AS.
+
+        Raises
+        ------
+        KeyError
+            For a neighbour with no configured relationship.
+        """
+        return self._relationships[peer_asn]
+
+    def apply(self, route: Route, session: Session) -> Route | None:
+        if not session.is_ebgp:
+            return route
+        relationship = self._relationships.get(session.peer_asn)
+        if relationship is None:
+            return None  # no business relationship, reject
+        tagged = route.with_communities(RELATIONSHIP_COMMUNITY[relationship])
+        return replace(tagged, local_pref=self._local_pref[relationship])
+
+
+class RelationshipExportPolicy(ExportPolicy):
+    """Gao-Rexford export over eBGP, driven by relationship communities.
+
+    Routes originated locally (empty AS path before prepending) are always
+    exportable.  Routes tagged ``rel:customer`` are exportable to anyone;
+    routes tagged ``rel:peer`` or ``rel:provider`` only to customers.
+    ``no-export`` always wins.
+    """
+
+    def __init__(self, relationships: dict[int, Relationship]) -> None:
+        self._relationships = dict(relationships)
+
+    def apply(self, route: Route, session: Session) -> Route | None:
+        if not session.is_ebgp:
+            return route
+        if NO_EXPORT in route.communities:
+            return None
+        peer_rel = self._relationships.get(session.peer_asn)
+        if peer_rel is None:
+            return None
+        if peer_rel is Relationship.CUSTOMER:
+            return route
+        originated = len(route.as_path) == 0
+        from_customer = RELATIONSHIP_COMMUNITY[Relationship.CUSTOMER] in route.communities
+        if originated or from_customer:
+            return route
+        return None
+
+
+class ChainPolicy(ImportPolicy, ExportPolicy):
+    """Apply several policies in order; the first rejection wins."""
+
+    def __init__(self, *policies: ImportPolicy | ExportPolicy) -> None:
+        self._policies = policies
+
+    def apply(self, route: Route, session: Session) -> Route | None:
+        current: Route | None = route
+        for policy in self._policies:
+            if current is None:
+                return None
+            current = policy.apply(current, session)
+        return current
+
+
+class DenyPrefixImport(ImportPolicy):
+    """Reject specific prefixes on import (management-interface building block)."""
+
+    def __init__(self, prefixes: set) -> None:
+        self._prefixes = set(prefixes)
+
+    def apply(self, route: Route, session: Session) -> Route | None:
+        if route.prefix in self._prefixes:
+            return None
+        return route
+
+
+def strip_ibgp_only_attributes(route: Route) -> Route:
+    """Reset attributes that must not cross an AS boundary.
+
+    LOCAL_PREF is iBGP-scoped; ORIGINATOR_ID / CLUSTER_LIST are reflection
+    artefacts.  Called by the router when exporting over eBGP.
+    """
+    return replace(
+        route,
+        local_pref=DEFAULT_LOCAL_PREF,
+        originator_id=None,
+        cluster_list=(),
+    )

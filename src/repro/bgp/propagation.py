@@ -1,0 +1,201 @@
+"""AS-level route propagation over the synthetic Internet.
+
+Router-level BGP is simulated only inside VNS (where the paper's
+contribution lives).  For the rest of the Internet an AS-level model with
+Gao-Rexford (valley-free) semantics suffices: each AS prefers customer
+routes over peer routes over provider routes, then shortest AS path, then
+lowest neighbour ASN — the standard abstraction for policy routing studies.
+
+The result, per origin AS, is every AS's best AS-level route.  From these
+we derive (a) the routes VNS's upstreams and peers advertise to it, and
+(b) the forwarding paths the data plane walks when traffic leaves VNS or
+travels natively over the Internet.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+
+from repro.net.relationships import ASGraph, Relationship
+
+
+class RouteKind(enum.IntEnum):
+    """How a route was learned, in preference order (lower is better)."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True, slots=True)
+class AsLevelRoute:
+    """An AS's best route toward an origin AS.
+
+    ``path`` lists the ASes the route traverses, starting at the first-hop
+    neighbour and ending at the origin; it is empty at the origin itself.
+    """
+
+    kind: RouteKind
+    path: tuple[int, ...]
+
+    @property
+    def first_hop(self) -> int | None:
+        return self.path[0] if self.path else None
+
+    def __len__(self) -> int:
+        return len(self.path)
+
+
+def _tiebreak(route: AsLevelRoute) -> int:
+    """A deterministic pseudo-random tie-break among equal-class routes.
+
+    Real ties (same relationship class, same path length) are broken by
+    router-level details that look arbitrary at AS granularity; a hash of
+    (first hop, origin) spreads them across neighbours instead of always
+    favouring the lowest ASN, which would concentrate traffic
+    unrealistically.
+    """
+    if not route.path:
+        return 0
+    return ((route.path[0] * 2654435761) ^ (route.path[-1] * 2246822519)) & 0xFFFFFFFF
+
+
+def _better(a: AsLevelRoute, b: AsLevelRoute) -> bool:
+    """Whether ``a`` beats ``b`` under Gao-Rexford preference."""
+    key_a = (int(a.kind), len(a.path), _tiebreak(a), a.path[:1])
+    key_b = (int(b.kind), len(b.path), _tiebreak(b), b.path[:1])
+    return key_a < key_b
+
+
+def compute_routes_to_origin(graph: ASGraph, origin: int) -> dict[int, AsLevelRoute]:
+    """Best valley-free route from every AS to ``origin``.
+
+    Three phases, mirroring export rules:
+
+    1. *customer routes* climb provider edges from the origin;
+    2. *peer routes* take exactly one peering edge off a customer route;
+    3. *provider routes* descend customer edges from any routed AS.
+
+    Raises
+    ------
+    KeyError
+        If ``origin`` is not in the graph.
+    """
+    if origin not in graph:
+        raise KeyError(f"AS{origin} not in graph")
+    routes: dict[int, AsLevelRoute] = {
+        origin: AsLevelRoute(kind=RouteKind.ORIGIN, path=())
+    }
+
+    # Phase 1: customer routes propagate upward (customer -> provider).
+    # Dijkstra by (path length, first hop) guarantees determinism.
+    heap: list[tuple[int, tuple[int, ...], int]] = [(0, (), origin)]
+    while heap:
+        dist, path, asn = heapq.heappop(heap)
+        current = routes.get(asn)
+        if current is None or current.path != path:
+            continue  # stale heap entry
+        for provider in graph.providers_of(asn):
+            candidate = AsLevelRoute(kind=RouteKind.CUSTOMER, path=(asn,) + path)
+            existing = routes.get(provider)
+            if existing is None or _better(candidate, existing):
+                routes[provider] = candidate
+                heapq.heappush(heap, (dist + 1, candidate.path, provider))
+
+    # Phase 2: peer routes (one peering hop off a customer/origin route).
+    customer_routed = [
+        (asn, route)
+        for asn, route in routes.items()
+        if route.kind in (RouteKind.ORIGIN, RouteKind.CUSTOMER)
+    ]
+    peer_candidates: dict[int, AsLevelRoute] = {}
+    for asn, route in customer_routed:
+        for peer in graph.peers_of(asn):
+            if peer in routes:
+                continue  # already has a customer route (preferred)
+            candidate = AsLevelRoute(kind=RouteKind.PEER, path=(asn,) + route.path)
+            existing = peer_candidates.get(peer)
+            if existing is None or _better(candidate, existing):
+                peer_candidates[peer] = candidate
+    routes.update(peer_candidates)
+
+    # Phase 3: provider routes descend customer edges from any routed AS.
+    heap = [
+        (len(route.path), route.path, asn)
+        for asn, route in routes.items()
+    ]
+    heapq.heapify(heap)
+    while heap:
+        dist, path, asn = heapq.heappop(heap)
+        route = routes.get(asn)
+        if route is None or len(route.path) != dist or route.path != path:
+            continue
+        for customer in graph.customers_of(asn):
+            candidate = AsLevelRoute(kind=RouteKind.PROVIDER, path=(asn,) + path)
+            existing = routes.get(customer)
+            if existing is None or (
+                existing.kind is RouteKind.PROVIDER and _better(candidate, existing)
+            ):
+                routes[customer] = candidate
+                heapq.heappush(heap, (len(candidate.path), candidate.path, customer))
+
+    return routes
+
+
+class AsLevelRouting:
+    """Caches per-origin routing tables for a topology's AS graph."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+        self._tables: dict[int, dict[int, AsLevelRoute]] = {}
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    def table_for_origin(self, origin: int) -> dict[int, AsLevelRoute]:
+        """Routes of every AS toward ``origin`` (computed once, cached)."""
+        table = self._tables.get(origin)
+        if table is None:
+            table = compute_routes_to_origin(self._graph, origin)
+            self._tables[origin] = table
+        return table
+
+    def route(self, from_asn: int, origin: int) -> AsLevelRoute | None:
+        """``from_asn``'s best route toward ``origin`` (None if unreachable)."""
+        return self.table_for_origin(origin).get(from_asn)
+
+    def path(self, from_asn: int, origin: int) -> tuple[int, ...] | None:
+        """The AS path from ``from_asn`` to ``origin`` including both ends."""
+        route = self.route(from_asn, origin)
+        if route is None:
+            return None
+        return (from_asn,) + route.path if route.path else (from_asn,)
+
+    def exported_to_neighbor(
+        self, neighbor_asn: int, relationship_of_neighbor: Relationship, origin: int
+    ) -> AsLevelRoute | None:
+        """The route ``neighbor_asn`` would advertise over a new session.
+
+        ``relationship_of_neighbor`` is how *the receiving AS* sees the
+        neighbour: a PROVIDER (upstream) exports everything it has; a PEER
+        exports only customer routes and its own prefixes (Gao-Rexford).
+        """
+        route = self.route(neighbor_asn, origin)
+        if route is None:
+            return None
+        if relationship_of_neighbor is Relationship.PROVIDER:
+            return route
+        if relationship_of_neighbor is Relationship.PEER:
+            if route.kind in (RouteKind.ORIGIN, RouteKind.CUSTOMER):
+                return route
+            return None
+        # The receiving AS sees the neighbour as its CUSTOMER: customers
+        # also export everything they consider best?  No — a customer
+        # exports only its own and its customers' routes upward.
+        if route.kind in (RouteKind.ORIGIN, RouteKind.CUSTOMER):
+            return route
+        return None

@@ -1,0 +1,97 @@
+"""RFC 4456 route reflection.
+
+The reflector relaxes the iBGP re-advertisement rule: routes learned from
+clients are reflected to everyone, routes learned from non-clients to
+clients only.  ORIGINATOR_ID and CLUSTER_LIST prevent loops.  Unlike a
+border router, a reflector does *not* set next-hop-self, so clients resolve
+the original egress router as next hop — which is what makes the geo
+reflector's distance computation (egress location vs prefix location)
+meaningful, and what keeps the hot-potato IGP tie-break working for clients
+when local preferences tie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.bgp.attributes import Route
+from repro.bgp.decision import DecisionContext
+from repro.bgp.router import BgpRouter
+from repro.bgp.session import Session
+from repro.net.addressing import Prefix
+
+
+class RouteReflector(BgpRouter):
+    """A route reflector.
+
+    Parameters
+    ----------
+    cluster_id:
+        RFC 4456 cluster identifier; defaults to the router id.  Deploying
+        multiple reflectors with distinct cluster ids (as the paper's
+        footnote describes for operational stability) is supported.
+    """
+
+    def __init__(self, router_id: str, asn: int, *, cluster_id: str | None = None, **kwargs) -> None:
+        super().__init__(router_id, asn, **kwargs)
+        self.cluster_id = cluster_id or router_id
+
+    def _acceptable(self, route: Route, session: Session) -> bool:
+        if not super()._acceptable(route, session):
+            return False
+        if session.is_ibgp and self.cluster_id in route.cluster_list:
+            return False  # cluster loop
+        return True
+
+    def _ibgp_payload(
+        self,
+        best: Route | None,
+        candidates: list[Route],
+        ctx: DecisionContext,
+    ) -> tuple[Route | None, str | None, bool]:
+        """RFC 4456: reflect the best route, preserving its next hop.
+
+        Unlike an ordinary speaker, a reflector re-advertises iBGP-learned
+        routes — to everyone when learned from a client, to clients only
+        when learned from a non-client.
+        """
+        if best is None:
+            return None, None, True
+        if best.ebgp or best.learned_from is None:
+            # eBGP-learned or locally originated: plain iBGP advertisement,
+            # but a reflector does not rewrite the next hop.
+            payload = replace(best, learned_from=None, ebgp=False)
+            return payload, best.learned_from, True
+        learned_session = self.sessions.get(best.learned_from)
+        from_client = learned_session is not None and learned_session.rr_client
+        originator = best.originator_id or best.learned_from or self.router_id
+        reflected = best.reflected(originator=originator, cluster_id=self.cluster_id)
+        payload = replace(reflected, learned_from=None, ebgp=False)
+        return payload, best.learned_from, from_client
+
+    def _ibgp_desired(
+        self,
+        session: Session,
+        payload: Route | None,
+        source_peer: str | None,
+        from_client: bool,
+    ) -> Route | None:
+        if payload is None:
+            return None
+        if source_peer is not None and source_peer == session.peer_id:
+            return None  # never reflect back to the sender ("except A")
+        if not from_client and not session.rr_client:
+            return None  # non-client -> non-client is not reflected
+        return self.export_policy.apply(payload, session)
+
+    def clients(self) -> list[str]:
+        """Peer ids of all configured reflection clients."""
+        return [s.peer_id for s in self.sessions.values() if s.rr_client]
+
+    def hidden_route_check(self, prefix: Prefix) -> bool:
+        """Whether the reflector knows more than one route for ``prefix``.
+
+        A single known route for a multi-homed prefix is the smell of the
+        hidden-routes problem; useful for diagnostics and tests.
+        """
+        return len(self.adj_rib_in.routes_for(prefix)) > 1

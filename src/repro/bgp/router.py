@@ -1,0 +1,351 @@
+"""A BGP speaker with full RIBs and incremental update generation.
+
+The speaker implements the mechanics the paper's setup relies on:
+
+* RFC 4271 decision process with hot-potato IGP tie-break,
+* next-hop-self toward iBGP (as border routers in VNS do),
+* standard iBGP re-advertisement rules (eBGP-learned and locally
+  originated routes only — which is what *hides* routes once a reflector
+  is involved), and
+* the "best external" feature: when the overall best route is
+  iBGP-learned, the best eBGP-learned route is advertised into iBGP
+  anyway, undoing the hidden-routes problem of Sec. 3.2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import replace
+
+from repro.bgp.attributes import DEFAULT_LOCAL_PREF, NO_EXPORT, AsPath, Origin, Route
+from repro.bgp.decision import DecisionContext, best_external, best_route
+from repro.bgp.messages import Message, Update, Withdraw
+from repro.bgp.policy import (
+    AcceptAll,
+    ExportAll,
+    ExportPolicy,
+    ImportPolicy,
+    strip_ibgp_only_attributes,
+)
+from repro.bgp.rib import AdjRib, LocRib
+from repro.bgp.session import Session, SessionType
+from repro.geo.coords import GeoPoint
+from repro.net.addressing import Prefix
+
+
+class BgpRouter:
+    """One BGP speaker.
+
+    Parameters
+    ----------
+    router_id:
+        Unique identifier; doubles as the next-hop value the router writes
+        when applying next-hop-self.
+    asn:
+        The local AS number.
+    location:
+        Where the router physically sits (used by geo-aware reflectors and
+        by the data plane).
+    import_policy / export_policy:
+        Policy hooks; default accept/export-all.
+    igp_metric:
+        Metric from this router to a BGP next hop (router id); drives the
+        hot-potato tie-break.  Defaults to a flat metric.
+    enable_best_external:
+        Advertise the best eBGP-learned route into iBGP when the overall
+        best is iBGP-learned.
+    """
+
+    def __init__(
+        self,
+        router_id: str,
+        asn: int,
+        *,
+        location: GeoPoint | None = None,
+        import_policy: ImportPolicy | None = None,
+        export_policy: ExportPolicy | None = None,
+        igp_metric: Callable[[str], float] | None = None,
+        enable_best_external: bool = False,
+    ) -> None:
+        self.router_id = router_id
+        self.asn = asn
+        self.location = location
+        self.import_policy = import_policy or AcceptAll()
+        self.export_policy = export_policy or ExportAll()
+        self.enable_best_external = enable_best_external
+        self.sessions: dict[str, Session] = {}
+        self.adj_rib_in = AdjRib()
+        self.adj_rib_out = AdjRib()
+        self.loc_rib = LocRib()
+        self.originated: dict[Prefix, Route] = {}
+        self._igp_metric = igp_metric or (lambda next_hop: 0.0)
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+
+    def add_session(self, session: Session) -> None:
+        """Configure a session toward ``session.peer_id``.
+
+        Raises
+        ------
+        ValueError
+            If a session to that peer already exists.
+        """
+        if session.peer_id in self.sessions:
+            raise ValueError(
+                f"{self.router_id} already has a session to {session.peer_id}"
+            )
+        self.sessions[session.peer_id] = session
+
+    def session_to(self, peer_id: str) -> Session:
+        """The configured session to ``peer_id``.
+
+        Raises
+        ------
+        KeyError
+            If no session to that peer exists.
+        """
+        return self.sessions[peer_id]
+
+    def set_igp_metric_fn(self, fn: Callable[[str], float]) -> None:
+        """Install the IGP metric callback (e.g. after SPF is computed)."""
+        self._igp_metric = fn
+
+    # ------------------------------------------------------------------ #
+    # route origination and message processing
+    # ------------------------------------------------------------------ #
+
+    def originate(self, prefix: Prefix, communities: frozenset[str] = frozenset()) -> list[Message]:
+        """Originate ``prefix`` locally and return the resulting updates."""
+        route = Route(
+            prefix=prefix,
+            as_path=AsPath(),
+            next_hop=self.router_id,
+            origin=Origin.IGP,
+            local_pref=DEFAULT_LOCAL_PREF,
+            communities=communities,
+        )
+        self.originated[prefix] = route
+        return self._decide(prefix)
+
+    def withdraw_origination(self, prefix: Prefix) -> list[Message]:
+        """Stop originating ``prefix``; return the resulting updates."""
+        if prefix in self.originated:
+            del self.originated[prefix]
+        return self._decide(prefix)
+
+    def bulk_receive(self, messages: list[Message]) -> None:
+        """Install many incoming updates without running the decision process.
+
+        Used for the initial table transfer at session establishment: real
+        BGP speakers also defer/batch best-path runs during bulk transfers.
+        Call :meth:`refresh_advertisements` afterwards to decide and
+        advertise.
+
+        Raises
+        ------
+        KeyError
+            If a message arrives from a peer with no configured session.
+        """
+        for message in messages:
+            session = self.sessions[message.sender]
+            if isinstance(message, Withdraw):
+                self.adj_rib_in.withdraw(message.sender, message.prefix)
+                continue
+            route = message.route
+            if not self._acceptable(route, session):
+                self.adj_rib_in.withdraw(message.sender, route.prefix)
+                continue
+            received = self._import(route, session)
+            if received is None:
+                self.adj_rib_in.withdraw(message.sender, route.prefix)
+                continue
+            self.adj_rib_in.update(message.sender, received)
+
+    def process(self, message: Message) -> list[Message]:
+        """Handle one incoming message; return the messages it triggers.
+
+        Raises
+        ------
+        KeyError
+            If the message arrives from a peer with no configured session.
+        """
+        session = self.sessions[message.sender]
+        if isinstance(message, Withdraw):
+            removed = self.adj_rib_in.withdraw(message.sender, message.prefix)
+            if removed is None:
+                return []
+            return self._decide(message.prefix)
+        route = message.route
+        if not self._acceptable(route, session):
+            # A rejected update still implicitly replaces (removes) any
+            # previous route from this peer for the prefix.
+            had = self.adj_rib_in.withdraw(message.sender, route.prefix)
+            return self._decide(route.prefix) if had is not None else []
+        received = self._import(route, session)
+        if received is None:
+            had = self.adj_rib_in.withdraw(message.sender, route.prefix)
+            return self._decide(route.prefix) if had is not None else []
+        self.adj_rib_in.update(message.sender, received)
+        return self._decide(route.prefix)
+
+    def _acceptable(self, route: Route, session: Session) -> bool:
+        """Wire-level sanity checks (loop prevention)."""
+        if session.is_ebgp and route.as_path.has_loop(self.asn):
+            return False
+        if session.is_ibgp and route.originator_id == self.router_id:
+            return False
+        return True
+
+    def _import(self, route: Route, session: Session) -> Route | None:
+        """Apply import policy and stamp reception metadata."""
+        if session.is_ebgp:
+            # LOCAL_PREF is not carried over eBGP.
+            route = replace(route, local_pref=DEFAULT_LOCAL_PREF)
+        imported = self.import_policy.apply(route, session)
+        if imported is None:
+            return None
+        imported = imported.received(
+            learned_from=session.peer_id, ebgp=session.is_ebgp
+        )
+        return self.transform_imported(imported, session)
+
+    def transform_imported(self, route: Route, session: Session) -> Route | None:
+        """Hook for subclasses (the geo reflector rewrites LOCAL_PREF here)."""
+        return route
+
+    # ------------------------------------------------------------------ #
+    # decision and advertisement
+    # ------------------------------------------------------------------ #
+
+    def _candidates(self, prefix: Prefix) -> list[Route]:
+        candidates = self.adj_rib_in.routes_for(prefix)
+        if prefix in self.originated:
+            candidates.append(self.originated[prefix])
+        return candidates
+
+    def best(self, prefix: Prefix) -> Route | None:
+        """The currently selected best route for ``prefix``."""
+        return self.loc_rib.best(prefix)
+
+    def _decision_context(self) -> DecisionContext:
+        return DecisionContext(igp_metric=self._igp_metric, router_id=self.router_id)
+
+    def _decide(self, prefix: Prefix) -> list[Message]:
+        """Re-run selection for ``prefix`` and diff the advertisements."""
+        candidates = self._candidates(prefix)
+        ctx = self._decision_context()
+        best = best_route(candidates, ctx)
+        if best is None:
+            self.loc_rib.clear(prefix)
+        else:
+            self.loc_rib.set_best(best)
+        # The iBGP payload is identical for every iBGP session (modulo
+        # split horizon / reflection gating), so prepare it once.
+        payload, source_peer, from_client = self._ibgp_payload(best, candidates, ctx)
+        messages: list[Message] = []
+        for peer_id, session in self.sessions.items():
+            if session.is_ebgp:
+                desired = None if best is None else self._ebgp_advertisement(session, best)
+            else:
+                desired = self._ibgp_desired(session, payload, source_peer, from_client)
+            self._emit(peer_id, prefix, desired, messages)
+        return messages
+
+    def refresh_advertisements(self) -> list[Message]:
+        """Recompute every advertisement (e.g. after a policy change)."""
+        messages: list[Message] = []
+        prefixes = set(self.adj_rib_in.prefixes()) | set(self.originated)
+        prefixes |= set(self.loc_rib.prefixes())
+        for prefix in sorted(prefixes):
+            messages.extend(self._decide(prefix))
+        return messages
+
+    def _emit(
+        self,
+        peer_id: str,
+        prefix: Prefix,
+        desired: Route | None,
+        messages: list[Message],
+    ) -> None:
+        current = self.adj_rib_out.route(peer_id, prefix)
+        if desired is None:
+            if current is not None:
+                self.adj_rib_out.withdraw(peer_id, prefix)
+                messages.append(
+                    Withdraw(sender=self.router_id, receiver=peer_id, prefix=prefix)
+                )
+            return
+        if current == desired:
+            return
+        self.adj_rib_out.update(peer_id, desired)
+        messages.append(Update(sender=self.router_id, receiver=peer_id, route=desired))
+
+    def _ebgp_advertisement(self, session: Session, best: Route) -> Route | None:
+        if best.learned_from == session.peer_id:
+            return None  # split horizon
+        if NO_EXPORT in best.communities:
+            return None
+        exported = self.export_policy.apply(best, session)
+        if exported is None:
+            return None
+        cleaned = strip_ibgp_only_attributes(exported)
+        return replace(
+            cleaned,
+            as_path=cleaned.as_path.prepend(self.asn),
+            next_hop=self.router_id,
+            learned_from=None,
+            ebgp=False,
+        )
+
+    def _ibgp_payload(
+        self,
+        best: Route | None,
+        candidates: list[Route],
+        ctx: DecisionContext,
+    ) -> tuple[Route | None, str | None, bool]:
+        """The route this speaker currently offers into iBGP.
+
+        Returns ``(payload, source_peer, from_client)``; ``source_peer``
+        drives split horizon and ``from_client`` reflection gating (always
+        True for ordinary speakers, which advertise to every iBGP peer).
+        """
+        if best is None:
+            return None, None, True
+        candidate: Route | None
+        if best.ebgp or best.learned_from is None:
+            candidate = best
+        elif self.enable_best_external:
+            candidate = best_external(candidates, ctx)
+        else:
+            # Standard rule: iBGP-learned routes are not re-advertised into
+            # iBGP by an ordinary speaker.  This is the hidden-routes hazard.
+            candidate = None
+        if candidate is None:
+            return None, None, True
+        # Border routers apply next-hop-self toward iBGP.
+        payload = replace(
+            candidate,
+            next_hop=self.router_id,
+            learned_from=None,
+            ebgp=False,
+        )
+        return payload, candidate.learned_from, True
+
+    def _ibgp_desired(
+        self,
+        session: Session,
+        payload: Route | None,
+        source_peer: str | None,
+        from_client: bool,
+    ) -> Route | None:
+        """Gate the shared iBGP payload for one session."""
+        if payload is None:
+            return None
+        if source_peer is not None and source_peer == session.peer_id:
+            return None  # split horizon
+        return self.export_policy.apply(payload, session)
+
+    def __repr__(self) -> str:
+        return f"<BgpRouter {self.router_id} AS{self.asn}>"

@@ -1,0 +1,61 @@
+"""Data-plane models: delay, loss, jitter, and transmission simulation.
+
+The paper measures real packets over a real network; this subpackage is
+the substitute substrate.  Delay comes from great-circle propagation with
+an inflation factor; loss comes from calibrated stochastic models whose
+parameters (see :mod:`repro.dataplane.calibration`) encode the paper's
+*findings* — congested AP transit, distance-dependent loss, residential
+diurnal cycles, well-provisioned VNS L2 links — so the experiment harness
+reproduces the shape of every loss figure.
+"""
+
+from repro.dataplane.latency import (
+    FIBER_MS_PER_KM,
+    path_propagation_ms,
+    propagation_delay_ms,
+)
+from repro.dataplane.diurnal import DiurnalProfile, access_profile, transit_profile
+from repro.dataplane.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    LossModel,
+    congestion_loss_probability,
+)
+from repro.dataplane.link import SegmentKind, PathSegment
+from repro.dataplane.path import (
+    DataPath,
+    access_path,
+    assemble_as_path_waypoints,
+    internet_path,
+)
+from repro.dataplane.transmit import (
+    PingResult,
+    StreamResult,
+    simulate_ping,
+    simulate_probe_round,
+    simulate_stream,
+)
+
+__all__ = [
+    "FIBER_MS_PER_KM",
+    "propagation_delay_ms",
+    "path_propagation_ms",
+    "DiurnalProfile",
+    "access_profile",
+    "transit_profile",
+    "LossModel",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "congestion_loss_probability",
+    "SegmentKind",
+    "PathSegment",
+    "DataPath",
+    "access_path",
+    "assemble_as_path_waypoints",
+    "internet_path",
+    "PingResult",
+    "StreamResult",
+    "simulate_ping",
+    "simulate_stream",
+    "simulate_probe_round",
+]

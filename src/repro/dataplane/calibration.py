@@ -1,0 +1,249 @@
+"""Calibration constants for the data-plane models.
+
+Every number here encodes a *finding* of the paper (or a well-known
+engineering constant) rather than an arbitrary choice; the experiment
+benchmarks assert the shapes these constants produce.  They are collected
+in one module so the model ↔ figure mapping stays auditable:
+
+* ``REGION_CONGESTION`` — Sec. 5.1.2/5.2: "the Internet in the AP region
+  seems to be far more congested"; NA moderate; EU best.
+* ``ACCESS_BASE_LOSS`` — Table 1's AS-type ordering per region (AP:
+  LTP < STP < EC < CAHP; EU: LTP < EC < STP < CAHP; NA: flat).
+* ``TRANSIT_*`` — Fig. 9/10: long-haul transit shows a random-loss
+  baseline that grows with distance, short bursty outliers (IGP/BGP
+  convergence) and long bursty outliers (sustained congestion), while
+  VNS's dedicated L2 links show at most tiny multiplexing loss.
+* ``VNS_L2_*`` — Sec. 5.1.1: intra-region VNS loss ≈ 0; minor loss
+  (<0.01%) on long-haul L2 links that "are likely to be multiplexed at a
+  lower layer".
+* ``DIURNAL_*`` — Fig. 12: business-hours and evening peaks, with AP
+  showing the strongest swing.
+"""
+
+from __future__ import annotations
+
+from repro.geo.regions import WorldRegion
+from repro.net.asn import ASType
+
+# --------------------------------------------------------------------- #
+# Latency
+# --------------------------------------------------------------------- #
+
+#: One-way light-in-fibre propagation: ~4.9 µs/km ≈ 0.0049 ms/km.
+FIBER_MS_PER_KM = 0.0049
+
+#: Fibre paths are never great circles; measured RTTs over transit are
+#: typically 1.3–2× the geodesic bound.  VNS leases direct L2 circuits,
+#: so its inflation is lower.
+TRANSIT_PATH_INFLATION = 1.55
+VNS_PATH_INFLATION = 1.15
+ACCESS_PATH_INFLATION = 2.0
+
+#: Fixed per-AS-hop processing/queuing delay (ms, one way).
+PER_HOP_DELAY_MS = 0.35
+
+# --------------------------------------------------------------------- #
+# Regional congestion multipliers (dimensionless)
+# --------------------------------------------------------------------- #
+
+REGION_CONGESTION: dict[WorldRegion, float] = {
+    WorldRegion.ASIA_PACIFIC: 2.6,
+    WorldRegion.EUROPE: 0.7,
+    WorldRegion.NORTH_CENTRAL_AMERICA: 1.0,
+    WorldRegion.OCEANIA: 1.4,
+    WorldRegion.MIDDLE_EAST: 1.8,
+    WorldRegion.AFRICA: 2.2,
+    WorldRegion.SOUTH_AMERICA: 1.8,
+}
+
+# --------------------------------------------------------------------- #
+# Access (last-mile) loss — drives Table 1, Fig. 11, Fig. 12
+# --------------------------------------------------------------------- #
+
+#: Mean access loss per AS type and destination region (probe-measured
+#: scale), before the diurnal factor.  Calibrated so that the
+#: Amsterdam-perspective averages land near Table 1 (AP:
+#: 0.45/1.30/2.80/1.92; EU: 0.11/0.62/1.58/0.52; NA: ~0.5 flat) once the
+#: corridor (transit) contribution along the path is added.
+ACCESS_BASE_LOSS: dict[WorldRegion, dict[ASType, float]] = {
+    WorldRegion.ASIA_PACIFIC: {
+        ASType.LTP: 0.0008,
+        ASType.STP: 0.0072,
+        ASType.CAHP: 0.0180,
+        ASType.EC: 0.0125,
+    },
+    WorldRegion.EUROPE: {
+        ASType.LTP: 0.0008,
+        ASType.STP: 0.0050,
+        ASType.CAHP: 0.0135,
+        ASType.EC: 0.0040,
+    },
+    WorldRegion.NORTH_CENTRAL_AMERICA: {
+        # LTPs in NA also sell residential access, blurring the hierarchy
+        # (Sec. 5.2.3) — the values are deliberately flat.
+        ASType.LTP: 0.0040,
+        ASType.STP: 0.0035,
+        ASType.CAHP: 0.0033,
+        ASType.EC: 0.0039,
+    },
+}
+
+#: Fallback for regions outside the three studied ones.
+ACCESS_BASE_LOSS_DEFAULT: dict[ASType, float] = {
+    ASType.LTP: 0.004,
+    ASType.STP: 0.008,
+    ASType.CAHP: 0.016,
+    ASType.EC: 0.010,
+}
+
+#: Access loss is *episodic*: most probe rounds see none, congested
+#: episodes lose a lot.  This is the per-slot/per-round probability that
+#: an access link is in a congestion episode (at diurnal factor 1); the
+#: in-episode rate is scaled so the long-run mean matches
+#: ``ACCESS_BASE_LOSS``.  Episodic loss is what makes Fig. 12's
+#: lossy-round counts swing with local hours instead of saturating.
+ACCESS_OCCURRENCE: dict[ASType, float] = {
+    ASType.LTP: 0.05,
+    ASType.STP: 0.12,
+    ASType.CAHP: 0.20,
+    ASType.EC: 0.15,
+}
+#: Log-normal sigma of the in-episode rate (mean-corrected).
+ACCESS_EPISODE_SIGMA = 0.8
+
+#: How strongly access loss follows the diurnal cycle, per AS type.  CAHPs
+#: serve residential users (strong evening peak); LTP backbones swing the
+#: least — but in AP even LTPs peak in local evening hours (Fig. 12).
+ACCESS_DIURNAL_WEIGHT: dict[ASType, float] = {
+    ASType.LTP: 0.45,
+    ASType.STP: 0.7,
+    ASType.CAHP: 1.0,
+    ASType.EC: 0.8,
+}
+
+# --------------------------------------------------------------------- #
+# Transit long-haul loss — drives Fig. 9 and Fig. 10
+# --------------------------------------------------------------------- #
+
+#: Distance (km) beyond which an inter-AS segment counts as long-haul.
+LONG_HAUL_KM = 2500.0
+
+#: Per-corridor (unordered region pair) spread-loss parameters: the
+#: probability that a stream crossing one long-haul segment on that
+#: corridor sees an always-on *spread* (random) loss component, and a
+#: multiplier on the drawn rate.  These encode the paper's measured
+#: ordering directly: AP transit is by far the most congested;
+#: trans-Atlantic worse than intra-EU/intra-NA; the Oceania corridors
+#: worst of all (43% of Sydney→AP transit streams exceeded 0.15% loss).
+_EU = WorldRegion.EUROPE
+_NA = WorldRegion.NORTH_CENTRAL_AMERICA
+_AP = WorldRegion.ASIA_PACIFIC
+_OC = WorldRegion.OCEANIA
+TRANSIT_PAIR_SPREAD: dict[frozenset, tuple[float, float]] = {
+    frozenset({_EU}): (0.045, 1.0),
+    frozenset({_NA}): (0.065, 1.0),
+    frozenset({_AP}): (0.30, 1.0),
+    frozenset({_OC}): (0.18, 1.0),
+    frozenset({_EU, _NA}): (0.22, 1.0),
+    frozenset({_EU, _AP}): (0.35, 0.8),
+    frozenset({_NA, _AP}): (0.26, 1.0),
+    frozenset({_OC, _AP}): (0.90, 3.2),
+    frozenset({_EU, _OC}): (0.35, 1.0),
+    frozenset({_NA, _OC}): (0.32, 1.0),
+}
+#: Fallback spread probability per congestion unit for unlisted pairs
+#: (Middle East / Africa / South America corridors).
+TRANSIT_SPREAD_PROB_DEFAULT_PER_CONGESTION = 0.12
+
+#: Log-normal parameters of the spread per-slot loss rate (natural log of
+#: loss probability); median ≈ e^-6.9 ≈ 1.0e-3, mean ≈ 2.1e-3.
+TRANSIT_SPREAD_LOG_MEAN = -6.9
+TRANSIT_SPREAD_LOG_SIGMA = 1.2
+
+#: Rate multiplier by the AS class that owns the segment.  VNS "purchases
+#: transit from carefully selected large providers that are known to have
+#: well engineered and over provisioned networks" (Sec. 5.1) — LTP-owned
+#: trunks are premium; small-transit trunks run hotter.
+OWNER_RATE_MULT: dict[ASType, float] = {
+    ASType.LTP: 0.5,
+    ASType.STP: 1.6,
+    ASType.CAHP: 1.3,
+    ASType.EC: 1.0,
+}
+
+#: Spread rates scale with segment length (longer trunks, more multiplexing
+#: stages): ``clamp(km / 8000, DIST_RATE_MIN, DIST_RATE_MAX)``.
+DIST_RATE_REF_KM = 8000.0
+DIST_RATE_MIN = 0.35
+DIST_RATE_MAX = 2.0
+
+#: Sec. 5.2.2: "many operators from AP region are heavily present in the
+#: US west coast IXPs" — NA↔AP corridors terminating on the west coast
+#: run over dense short peering, discounting their spread probability.
+WEST_COAST_LON_THRESHOLD = -100.0
+WEST_COAST_DISCOUNT = 0.3
+
+#: Back-to-back 100-packet probe bursts (Sec. 5.2) stress trunk queues
+#: far more than paced RTP; transit rates are amplified by this factor
+#: for burst probes.  Access bases need no amplification — they are
+#: calibrated on the probe scale already.
+PROBE_BURST_FACTOR = 8.0
+
+#: Probability per stream of a *short burst* (1–2 lossy slots at high
+#: rate; IGP convergence or transient congestion), per congestion unit.
+TRANSIT_SHORT_BURST_PROB = 0.03
+TRANSIT_SHORT_BURST_RATE = (0.05, 0.8)  # uniform range of in-burst loss
+
+#: Probability per stream of a *long burst* (loss throughout the session;
+#: sustained congestion or BGP convergence), per congestion unit.
+TRANSIT_LONG_BURST_PROB = 0.004
+TRANSIT_LONG_BURST_RATE = (0.01, 0.12)
+
+#: Always-on floor of random loss on any transit segment (per-slot rate).
+TRANSIT_FLOOR_RATE = 2.0e-6
+
+# --------------------------------------------------------------------- #
+# VNS dedicated L2 links — Sec. 5.1.1
+# --------------------------------------------------------------------- #
+
+#: Intra-region (metro/cluster) L2 links: effectively lossless.
+VNS_L2_INTRA_SPREAD_PROB = 0.002
+VNS_L2_INTRA_RATE = (1.0e-5, 8.0e-5)
+
+#: Long-haul inter-cluster L2 links: "minor loss (<0.01%)" from low-layer
+#: multiplexing/queuing.
+VNS_L2_LONG_SPREAD_PROB = 0.05
+VNS_L2_LONG_RATE = (2.0e-5, 2.5e-4)
+
+# --------------------------------------------------------------------- #
+# Jitter — Sec. 5.1.1 ("jitter is sub-10ms in 99% of 1080p streams")
+# --------------------------------------------------------------------- #
+
+#: Gamma-distribution shape for per-slot jitter; scale is congestion- and
+#: packet-rate-dependent (fewer packets → noisier interarrival estimate,
+#: which is why 720p shows more jitter than 1080p).
+JITTER_GAMMA_SHAPE = 2.2
+JITTER_BASE_SCALE_MS = 0.35
+#: Reference packet rate for jitter scaling (1080p ≈ 420 pps).
+JITTER_REFERENCE_PPS = 420.0
+
+# --------------------------------------------------------------------- #
+# Diurnal profile shapes — Fig. 12
+# --------------------------------------------------------------------- #
+
+#: Local business-hours peak (hour, weight) and evening residential peak.
+DIURNAL_BUSINESS_PEAK_HOUR = 14.0
+DIURNAL_EVENING_PEAK_HOUR = 20.5
+DIURNAL_PEAK_WIDTH_H = 3.4
+
+#: Regional amplitude of the diurnal swing (AP strongest — its local cycle
+#: even masks remote-destination cycles, Sec. 5.2.3).
+DIURNAL_REGION_AMPLITUDE: dict[WorldRegion, float] = {
+    WorldRegion.ASIA_PACIFIC: 1.6,
+    WorldRegion.EUROPE: 0.9,
+    WorldRegion.NORTH_CENTRAL_AMERICA: 0.55,
+    WorldRegion.OCEANIA: 0.9,
+    WorldRegion.MIDDLE_EAST: 0.9,
+    WorldRegion.AFRICA: 0.9,
+    WorldRegion.SOUTH_AMERICA: 0.9,
+}

@@ -1,0 +1,85 @@
+"""Diurnal congestion profiles.
+
+Fig. 12 shows clear diurnal loss patterns: loss toward a destination region
+peaks during *that region's* business/evening hours — except in AP, whose
+local congestion is strong enough to mask remote cycles.  The profile here
+is a baseline plus two Gaussian bumps (business hours and residential
+evening) in the region's local time, with a region-specific amplitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dataplane.calibration import (
+    DIURNAL_BUSINESS_PEAK_HOUR,
+    DIURNAL_EVENING_PEAK_HOUR,
+    DIURNAL_PEAK_WIDTH_H,
+    DIURNAL_REGION_AMPLITUDE,
+)
+from repro.geo.regions import WorldRegion, cet_to_local_hour
+from repro.net.asn import ASType
+
+
+def _bump(hour: float, centre: float, width: float) -> float:
+    """A circular (24 h wrap-around) Gaussian bump, peak value 1."""
+    delta = min(abs(hour - centre), 24.0 - abs(hour - centre))
+    return math.exp(-0.5 * (delta / width) ** 2)
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalProfile:
+    """A multiplicative congestion factor as a function of local hour.
+
+    ``factor(hour_local)`` is >= ``floor`` and peaks at
+    ``floor + amplitude`` around business/evening hours.  The business and
+    evening weights let access networks (residential CAHPs) emphasise the
+    evening bump while transit emphasises business hours.
+    """
+
+    amplitude: float
+    business_weight: float = 1.0
+    evening_weight: float = 0.7
+    floor: float = 0.55
+
+    def factor(self, hour_local: float) -> float:
+        """The congestion multiplier at a local hour of day."""
+        hour = hour_local % 24.0
+        shape = (
+            self.business_weight * _bump(hour, DIURNAL_BUSINESS_PEAK_HOUR, DIURNAL_PEAK_WIDTH_H)
+            + self.evening_weight * _bump(hour, DIURNAL_EVENING_PEAK_HOUR, DIURNAL_PEAK_WIDTH_H)
+        )
+        max_shape = self.business_weight + self.evening_weight
+        if max_shape <= 0:
+            return self.floor
+        return self.floor + self.amplitude * shape / max_shape
+
+    def factor_cet(self, hour_cet: float, region: WorldRegion) -> float:
+        """The multiplier at a CET hour, converting to the region's time."""
+        return self.factor(cet_to_local_hour(hour_cet, region))
+
+
+def access_profile(region: WorldRegion, as_type: ASType) -> DiurnalProfile:
+    """The diurnal profile of last-mile loss in ``region`` for ``as_type``.
+
+    CAHPs (residential) are evening-heavy; LTP backbones business-heavy;
+    in AP, LTP loss peaks in local evening too because home users pull
+    remote content through transit (Sec. 5.2.3).
+    """
+    amplitude = DIURNAL_REGION_AMPLITUDE[region]
+    if as_type is ASType.CAHP:
+        return DiurnalProfile(amplitude=amplitude, business_weight=0.5, evening_weight=1.0)
+    if as_type is ASType.EC:
+        return DiurnalProfile(amplitude=amplitude, business_weight=1.0, evening_weight=0.25)
+    if as_type is ASType.LTP and region is WorldRegion.ASIA_PACIFIC:
+        return DiurnalProfile(amplitude=amplitude, business_weight=0.45, evening_weight=1.0)
+    if as_type is ASType.LTP:
+        return DiurnalProfile(amplitude=amplitude * 0.8, business_weight=1.0, evening_weight=0.5)
+    return DiurnalProfile(amplitude=amplitude, business_weight=1.0, evening_weight=0.6)
+
+
+def transit_profile(region: WorldRegion) -> DiurnalProfile:
+    """The diurnal profile of transit congestion anchored in ``region``."""
+    amplitude = DIURNAL_REGION_AMPLITUDE[region]
+    return DiurnalProfile(amplitude=amplitude * 0.8, business_weight=1.0, evening_weight=0.6)

@@ -1,0 +1,254 @@
+"""Path segments: the unit of delay and loss in the data plane.
+
+A forwarding path decomposes into segments — last-mile access, transit
+hops (intra- or inter-AS), VNS dedicated L2 links, and IXP peering hops.
+Each segment knows its geography and can sample a per-slot loss-rate
+vector for a media stream (or a single-round rate for probes).  The
+sampling implements the loss regimes of Fig. 10: an always-on *spread*
+(random) component, *short bursts* (transient congestion / IGP events),
+and *long bursts* (sustained congestion / BGP convergence), with regional
+weights from :mod:`repro.dataplane.calibration`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataplane import calibration as cal
+from repro.dataplane.diurnal import access_profile, transit_profile
+from repro.dataplane.latency import propagation_delay_ms
+from repro.geo.cities import region_of_point
+from repro.geo.coords import GeoPoint, great_circle_km
+from repro.geo.regions import WorldRegion
+from repro.net.asn import ASType
+
+
+class SegmentKind(enum.Enum):
+    """What kind of infrastructure a segment crosses."""
+
+    ACCESS = "access"  #: last mile into the destination/source AS
+    TRANSIT = "transit"  #: a transit provider's infrastructure
+    VNS_L2 = "vns-l2"  #: a VNS dedicated layer-2 link
+    PEERING = "peering"  #: an IXP/PNI hand-off (same metro)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class PathSegment:
+    """One segment of a forwarding path.
+
+    Parameters
+    ----------
+    kind:
+        Infrastructure type; selects the loss model.
+    start, end:
+        Segment endpoints.
+    as_type:
+        For ACCESS segments: the destination AS's type (drives base loss).
+    owner_type:
+        For TRANSIT segments: the class of the AS whose infrastructure
+        this is (premium LTP trunks lose less than small-transit trunks).
+    label:
+        Human-readable annotation, e.g. ``"AS702"`` or ``"LON-AMS"``.
+    """
+
+    kind: SegmentKind
+    start: GeoPoint
+    end: GeoPoint
+    as_type: ASType | None = None
+    owner_type: ASType | None = None
+    label: str = ""
+
+    @property
+    def distance_km(self) -> float:
+        return great_circle_km(self.start, self.end)
+
+    @property
+    def is_long_haul(self) -> bool:
+        return self.distance_km > cal.LONG_HAUL_KM
+
+    @property
+    def start_region(self) -> WorldRegion:
+        return region_of_point(self.start)
+
+    @property
+    def end_region(self) -> WorldRegion:
+        return region_of_point(self.end)
+
+    def delay_ms(self) -> float:
+        """One-way delay contribution, including a per-hop constant."""
+        inflation = {
+            SegmentKind.ACCESS: cal.ACCESS_PATH_INFLATION,
+            SegmentKind.TRANSIT: cal.TRANSIT_PATH_INFLATION,
+            SegmentKind.VNS_L2: cal.VNS_PATH_INFLATION,
+            SegmentKind.PEERING: cal.TRANSIT_PATH_INFLATION,
+        }[self.kind]
+        return propagation_delay_ms(self.distance_km, inflation) + cal.PER_HOP_DELAY_MS
+
+    # -------------------------------------------------------------- #
+    # loss sampling
+    # -------------------------------------------------------------- #
+
+    def sample_slot_rates(
+        self,
+        n_slots: int,
+        hour_cet: float,
+        rng: np.random.Generator,
+        duration_s: float | None = None,
+    ) -> np.ndarray:
+        """Per-slot loss-probability contributions of this segment.
+
+        The returned vector has length ``n_slots``; entries are loss
+        probabilities to be combined across segments as independent drops.
+        ``duration_s`` is the observation window (default: 5 s per slot);
+        burst events arrive in time, so a 2-second probe round is far less
+        likely to witness one than a 2-minute stream.
+
+        Raises
+        ------
+        ValueError
+            For a non-positive slot count or duration.
+        """
+        if n_slots <= 0:
+            raise ValueError(f"n_slots must be positive, got {n_slots!r}")
+        if duration_s is None:
+            duration_s = 5.0 * n_slots
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s!r}")
+        if self.kind is SegmentKind.ACCESS:
+            return self._access_rates(n_slots, hour_cet, rng)
+        if self.kind is SegmentKind.TRANSIT:
+            return self._transit_rates(n_slots, hour_cet, rng, duration_s)
+        if self.kind is SegmentKind.VNS_L2:
+            return self._vns_rates(n_slots, rng)
+        return np.zeros(n_slots)  # PEERING hand-offs are loss-free
+
+    def _access_rates(
+        self, n_slots: int, hour_cet: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Episodic access loss.
+
+        Each slot/round is in a congestion episode with a (diurnal)
+        probability; in-episode rates are scaled so the long-run mean
+        matches the calibrated base.  Outside episodes the link is clean
+        — which is what keeps the Fig. 12 lossy-round counts swinging
+        with local hours instead of saturating.
+        """
+        as_type = self.as_type or ASType.EC
+        region = self.end_region
+        base_table = cal.ACCESS_BASE_LOSS.get(region, cal.ACCESS_BASE_LOSS_DEFAULT)
+        base = base_table[as_type]
+        weight = cal.ACCESS_DIURNAL_WEIGHT[as_type]
+        diurnal = access_profile(region, as_type).factor_cet(hour_cet, region)
+        factor = (1.0 - weight) + weight * diurnal
+        occurrence = min(0.9, cal.ACCESS_OCCURRENCE[as_type] * factor)
+        mean_rate = base * factor / max(occurrence, 1e-9)
+        episodes = rng.random(n_slots) < occurrence
+        sigma = cal.ACCESS_EPISODE_SIGMA
+        draws = rng.lognormal(-0.5 * sigma * sigma, sigma, size=n_slots)
+        return np.where(episodes, np.clip(mean_rate * draws, 0.0, 0.5), 0.0)
+
+    def _congestion(self, hour_cet: float) -> float:
+        """Mean regional congestion across the segment's endpoints."""
+        regions = (self.start_region, self.end_region)
+        static = float(
+            np.mean([cal.REGION_CONGESTION[region] for region in regions])
+        )
+        # Anchor the diurnal cycle at the more congested end.
+        anchor = max(regions, key=lambda region: cal.REGION_CONGESTION[region])
+        return static * transit_profile(anchor).factor_cet(hour_cet, anchor)
+
+    def _corridor(self) -> tuple[float, float]:
+        """(spread probability, rate multiplier) of this segment's corridor.
+
+        Includes the Sec. 5.2.2 west-coast discount: NA↔AP corridors
+        terminating on the US west coast run over dense IXP peering.
+        """
+        regions = {self.start_region, self.end_region}
+        key = frozenset(regions)
+        entry = cal.TRANSIT_PAIR_SPREAD.get(key)
+        if entry is None:
+            return (
+                min(0.95, cal.TRANSIT_SPREAD_PROB_DEFAULT_PER_CONGESTION * 1.5),
+                1.0,
+            )
+        prob, rate_mult = entry
+        if regions == {WorldRegion.NORTH_CENTRAL_AMERICA, WorldRegion.ASIA_PACIFIC}:
+            na_point = (
+                self.start
+                if self.start_region is WorldRegion.NORTH_CENTRAL_AMERICA
+                else self.end
+            )
+            if na_point.lon < cal.WEST_COAST_LON_THRESHOLD:
+                prob *= cal.WEST_COAST_DISCOUNT
+        return prob, rate_mult
+
+    def _spread_probability(self, hour_cet: float) -> float:
+        """Per-stream probability of an always-on random-loss component."""
+        prob, _ = self._corridor()
+        anchor = max(
+            (self.start_region, self.end_region),
+            key=lambda region: cal.REGION_CONGESTION[region],
+        )
+        diurnal = transit_profile(anchor).factor_cet(hour_cet, anchor)
+        return min(0.95, prob * diurnal)
+
+    def _rate_multiplier(self) -> float:
+        """Distance, corridor, and trunk-owner scaling of spread rates."""
+        _, corridor_mult = self._corridor()
+        distance_mult = min(
+            cal.DIST_RATE_MAX,
+            max(cal.DIST_RATE_MIN, self.distance_km / cal.DIST_RATE_REF_KM),
+        )
+        owner_mult = cal.OWNER_RATE_MULT.get(self.owner_type, 1.0)
+        return corridor_mult * distance_mult * owner_mult
+
+    def _transit_rates(
+        self,
+        n_slots: int,
+        hour_cet: float,
+        rng: np.random.Generator,
+        duration_s: float,
+    ) -> np.ndarray:
+        rates = np.full(n_slots, cal.TRANSIT_FLOOR_RATE)
+        congestion = self._congestion(hour_cet)
+        if self.is_long_haul and rng.random() < self._spread_probability(hour_cet):
+            rate = float(
+                rng.lognormal(cal.TRANSIT_SPREAD_LOG_MEAN, cal.TRANSIT_SPREAD_LOG_SIGMA)
+            )
+            rates += min(rate * self._rate_multiplier(), 0.05)
+        # Burst events arrive in time: calibrated per 120 s of exposure.
+        exposure = duration_s / 120.0
+        burst_scale = congestion if self.is_long_haul else 0.3 * congestion
+        burst_scale *= exposure
+        if rng.random() < cal.TRANSIT_SHORT_BURST_PROB * burst_scale:
+            lo, hi = cal.TRANSIT_SHORT_BURST_RATE
+            burst_rate = float(rng.uniform(lo, hi))
+            n_burst = int(rng.integers(1, 3))
+            slots = rng.choice(n_slots, size=min(n_burst, n_slots), replace=False)
+            rates[slots] += burst_rate
+        if rng.random() < cal.TRANSIT_LONG_BURST_PROB * burst_scale:
+            lo, hi = cal.TRANSIT_LONG_BURST_RATE
+            rates += float(rng.uniform(lo, hi))
+        return np.clip(rates, 0.0, 0.95)
+
+    def _vns_rates(self, n_slots: int, rng: np.random.Generator) -> np.ndarray:
+        rates = np.zeros(n_slots)
+        if self.is_long_haul:
+            spread_prob = cal.VNS_L2_LONG_SPREAD_PROB
+            lo, hi = cal.VNS_L2_LONG_RATE
+        else:
+            spread_prob = cal.VNS_L2_INTRA_SPREAD_PROB
+            lo, hi = cal.VNS_L2_INTRA_RATE
+        if rng.random() < spread_prob:
+            rates += float(rng.uniform(lo, hi))
+        return rates
+
+    def __str__(self) -> str:
+        suffix = f" [{self.label}]" if self.label else ""
+        return f"{self.kind}:{self.distance_km:.0f}km{suffix}"

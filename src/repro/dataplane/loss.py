@@ -1,0 +1,152 @@
+"""Packet-loss models.
+
+Three layers:
+
+* :class:`BernoulliLoss` — independent (random) loss; what FEC handles.
+* :class:`GilbertElliottLoss` — the classic two-state bursty-loss chain
+  the paper's related work invokes ("loss in the Internet generally
+  exhibits temporal dependency"); used by the per-packet simulator.
+* :func:`congestion_loss_probability` — maps link utilisation to a loss
+  probability with a knee, used to couple diurnal congestion to loss.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class LossModel(abc.ABC):
+    """Per-packet loss process."""
+
+    @abc.abstractmethod
+    def sample(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean array of length ``n_packets``; True = lost."""
+
+    def loss_count(self, n_packets: int, rng: np.random.Generator) -> int:
+        """Number of lost packets out of ``n_packets``."""
+        return int(self.sample(n_packets, rng).sum())
+
+
+class BernoulliLoss(LossModel):
+    """Independent loss with fixed probability."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {p!r}")
+        self.p = p
+
+    def sample(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        if n_packets < 0:
+            raise ValueError(f"n_packets must be non-negative, got {n_packets!r}")
+        if self.p == 0.0:
+            return np.zeros(n_packets, dtype=bool)
+        return rng.random(n_packets) < self.p
+
+    def loss_count(self, n_packets: int, rng: np.random.Generator) -> int:
+        # Binomial shortcut avoids materialising the per-packet array.
+        if n_packets < 0:
+            raise ValueError(f"n_packets must be non-negative, got {n_packets!r}")
+        return int(rng.binomial(n_packets, self.p))
+
+    def mean_loss(self) -> float:
+        """Expected loss fraction."""
+        return self.p
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov loss: a Good state and a Bad (bursty) state.
+
+    Parameters
+    ----------
+    p_gb:
+        Transition probability Good → Bad per packet.
+    p_bg:
+        Transition probability Bad → Good per packet.
+    loss_good:
+        Loss probability while in the Good state.
+    loss_bad:
+        Loss probability while in the Bad state.
+    """
+
+    def __init__(
+        self,
+        p_gb: float,
+        p_bg: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+    ) -> None:
+        for name, value in (
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+
+    def stationary_bad(self) -> float:
+        """Stationary probability of being in the Bad state."""
+        denom = self.p_gb + self.p_bg
+        if denom == 0.0:
+            return 0.0
+        return self.p_gb / denom
+
+    def mean_loss(self) -> float:
+        """Expected long-run loss fraction."""
+        pi_bad = self.stationary_bad()
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    def expected_burst_length(self) -> float:
+        """Mean sojourn (packets) in the Bad state."""
+        if self.p_bg == 0.0:
+            return float("inf")
+        return 1.0 / self.p_bg
+
+    def sample(self, n_packets: int, rng: np.random.Generator) -> np.ndarray:
+        """Simulate the chain packet by packet (vectorised in blocks)."""
+        if n_packets < 0:
+            raise ValueError(f"n_packets must be non-negative, got {n_packets!r}")
+        lost = np.zeros(n_packets, dtype=bool)
+        if n_packets == 0:
+            return lost
+        # Start in the stationary distribution.
+        in_bad = bool(rng.random() < self.stationary_bad())
+        uniforms = rng.random(n_packets)
+        transitions = rng.random(n_packets)
+        for i in range(n_packets):
+            p_loss = self.loss_bad if in_bad else self.loss_good
+            lost[i] = uniforms[i] < p_loss
+            if in_bad:
+                if transitions[i] < self.p_bg:
+                    in_bad = False
+            elif transitions[i] < self.p_gb:
+                in_bad = True
+        return lost
+
+
+def congestion_loss_probability(
+    utilization: float, knee: float = 0.82, steepness: float = 0.08
+) -> float:
+    """Loss probability of a queue at a given utilisation.
+
+    Below the ``knee`` the queue absorbs bursts and loss is negligible;
+    above it, loss rises quadratically, saturating at 1.  This is the
+    standard M/M/1-with-finite-buffer shape reduced to two parameters.
+
+    Raises
+    ------
+    ValueError
+        For negative utilisation.
+    """
+    if utilization < 0:
+        raise ValueError(f"utilization must be non-negative, got {utilization!r}")
+    if utilization <= knee:
+        return 0.0
+    overload = utilization - knee
+    return min(1.0, steepness * overload * overload / ((1.0 - knee) ** 2))

@@ -1,0 +1,232 @@
+"""Transmission simulation over a :class:`~repro.dataplane.path.DataPath`.
+
+Two granularities:
+
+* :func:`simulate_stream` — slot-aggregated media-stream simulation: each
+  segment contributes a per-slot loss-rate vector; slot losses are
+  binomially drawn from the combined rate.  This reproduces the
+  two-minute / 24×5-second-slot accounting of Sec. 5.1.2 at a tiny
+  fraction of per-packet cost.
+* :func:`simulate_ping` / :func:`simulate_probe_round` — ICMP-style
+  probing for the routing-precision (Sec. 4) and last-mile (Sec. 5.2)
+  experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataplane import calibration as cal
+from repro.dataplane.link import SegmentKind
+from repro.dataplane.path import DataPath
+
+
+@dataclass(slots=True)
+class StreamResult:
+    """Outcome of one simulated media stream.
+
+    Attributes
+    ----------
+    packets_sent:
+        Total packets in the stream.
+    slot_losses:
+        Lost-packet count per 5-second slot.
+    jitter_p95_ms:
+        95th-percentile interarrival jitter over the stream.
+    rtt_ms:
+        Path round-trip time (constant per stream in this model).
+    """
+
+    packets_sent: int
+    slot_losses: np.ndarray
+    jitter_p95_ms: float
+    rtt_ms: float
+
+    @property
+    def packets_lost(self) -> int:
+        return int(self.slot_losses.sum())
+
+    @property
+    def loss_percent(self) -> float:
+        """Loss as a percentage of packets sent."""
+        if self.packets_sent == 0:
+            return 0.0
+        return 100.0 * self.packets_lost / self.packets_sent
+
+    @property
+    def lossy_slots(self) -> int:
+        """Number of 5-second slots with at least one lost packet."""
+        return int((self.slot_losses > 0).sum())
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slot_losses)
+
+
+def combine_rates(per_segment: list[np.ndarray], n_slots: int | None = None) -> np.ndarray:
+    """Combine independent per-segment loss rates into end-to-end rates.
+
+    ``1 - prod(1 - r_i)`` per slot — a packet survives only if every
+    segment passes it.  An empty segment list (a zero-length path, e.g.
+    client and echo server at the same PoP) combines to all-zero rates,
+    which is why ``n_slots`` can be supplied.
+    """
+    if not per_segment:
+        return np.zeros(n_slots or 0)
+    survival = np.ones_like(per_segment[0])
+    for rates in per_segment:
+        survival = survival * (1.0 - rates)
+    return 1.0 - survival
+
+
+def _jitter_scale(path: DataPath, hour_cet: float, pps: float) -> float:
+    """Jitter scale: grows with congested transit hops, shrinks with pps."""
+    congestion_terms = 0.0
+    for segment in path.segments:
+        if segment.kind is SegmentKind.TRANSIT and segment.is_long_haul:
+            congestion_terms += 0.5
+        elif segment.kind is SegmentKind.ACCESS:
+            congestion_terms += 0.3
+        elif segment.kind is SegmentKind.VNS_L2 and segment.is_long_haul:
+            congestion_terms += 0.1
+    rate_factor = float(np.sqrt(cal.JITTER_REFERENCE_PPS / max(pps, 1.0)))
+    return cal.JITTER_BASE_SCALE_MS * (1.0 + congestion_terms) * rate_factor
+
+
+def simulate_stream(
+    path: DataPath,
+    *,
+    duration_s: float = 120.0,
+    packets_per_second: float = 420.0,
+    slot_s: float = 5.0,
+    hour_cet: float = 12.0,
+    rng: np.random.Generator,
+) -> StreamResult:
+    """Simulate one media stream over ``path``.
+
+    Raises
+    ------
+    ValueError
+        For non-positive duration, packet rate, or slot length.
+    """
+    if duration_s <= 0 or packets_per_second <= 0 or slot_s <= 0:
+        raise ValueError("duration, packet rate and slot length must be positive")
+    n_slots = max(1, int(round(duration_s / slot_s)))
+    packets_per_slot = int(round(packets_per_second * slot_s))
+    per_segment = [
+        segment.sample_slot_rates(n_slots, hour_cet, rng) for segment in path.segments
+    ]
+    rates = combine_rates(per_segment, n_slots)
+    slot_losses = rng.binomial(packets_per_slot, rates)
+    jitter_samples = rng.gamma(
+        cal.JITTER_GAMMA_SHAPE,
+        _jitter_scale(path, hour_cet, packets_per_second),
+        size=n_slots,
+    )
+    # Congestion inflates jitter: couple it to the slot loss rates.
+    jitter_samples = jitter_samples * (1.0 + 40.0 * rates)
+    jitter_p95 = float(np.percentile(jitter_samples, 95))
+    return StreamResult(
+        packets_sent=packets_per_slot * n_slots,
+        slot_losses=slot_losses,
+        jitter_p95_ms=jitter_p95,
+        rtt_ms=path.rtt_ms(),
+    )
+
+
+@dataclass(slots=True)
+class PingResult:
+    """Outcome of an ICMP probe burst."""
+
+    sent: int
+    lost: int
+    rtts_ms: list[float] = field(default_factory=list)
+
+    @property
+    def received(self) -> int:
+        return self.sent - self.lost
+
+    @property
+    def min_rtt_ms(self) -> float | None:
+        """Lowest observed RTT (the paper records this), None if all lost."""
+        return min(self.rtts_ms) if self.rtts_ms else None
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.lost / self.sent if self.sent else 0.0
+
+
+def simulate_ping(
+    path: DataPath,
+    *,
+    count: int = 5,
+    hour_cet: float = 12.0,
+    rng: np.random.Generator,
+) -> PingResult:
+    """Send ``count`` spaced ICMP echoes and collect RTTs.
+
+    Each echo independently samples the loss state; RTT gets a small
+    positive queueing perturbation on top of the path propagation time,
+    so the min-RTT estimator behaves as in real measurements.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive count.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count!r}")
+    per_segment = [
+        segment.sample_slot_rates(count, hour_cet, rng) for segment in path.segments
+    ]
+    rates = combine_rates(per_segment, count)
+    base_rtt = path.rtt_ms()
+    rtts: list[float] = []
+    lost = 0
+    jitter = rng.exponential(0.6, size=count)
+    drops = rng.random(count)
+    for i in range(count):
+        if drops[i] < rates[i]:
+            lost += 1
+        else:
+            rtts.append(base_rtt + float(jitter[i]))
+    return PingResult(sent=count, lost=lost, rtts_ms=rtts)
+
+
+def simulate_probe_round(
+    path: DataPath,
+    *,
+    packets: int = 100,
+    hour_cet: float = 12.0,
+    rng: np.random.Generator,
+) -> PingResult:
+    """One back-to-back probe round (Sec. 5.2: 100 packets every 10 min).
+
+    Back-to-back packets share the congestion state, so the round samples
+    one rate and draws losses binomially.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive packet count.
+    """
+    if packets <= 0:
+        raise ValueError(f"packets must be positive, got {packets!r}")
+    per_segment = []
+    for segment in path.segments:
+        # A 100-packet back-to-back round occupies the wire for ~2 s.
+        rates = segment.sample_slot_rates(1, hour_cet, rng, duration_s=2.0)
+        if segment.kind is SegmentKind.TRANSIT:
+            # Back-to-back bursts stress trunk queues far more than paced
+            # traffic (this is how the Sec. 5.2 probe averages and the
+            # Sec. 5.1 paced-stream CCDFs coexist on the same corridors).
+            rates = np.minimum(rates * cal.PROBE_BURST_FACTOR, 0.95)
+        per_segment.append(rates)
+    rate = float(combine_rates(per_segment, 1)[0])
+    lost = int(rng.binomial(packets, rate))
+    base_rtt = path.rtt_ms()
+    received = packets - lost
+    rtts = (base_rtt + rng.exponential(0.6, size=received)).tolist() if received else []
+    return PingResult(sent=packets, lost=lost, rtts_ms=rtts)

@@ -1,0 +1,27 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every module exposes a ``run(...)`` returning a structured result object
+holding exactly the series the corresponding figure plots, plus a
+``render(result)`` producing the rows as text.  ``repro.experiments.common``
+builds the shared simulation world at ``small`` (tests), ``medium``
+(benchmarks) or ``large`` scale.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  =====================================================
+fig3      Geo-based routing precision (CDF + scatter, Sec. 4.1)
+fig4      Egress PoP selection before/after (Sec. 4.2.1)
+fig5      Neighbour/transit selection before/after (Sec. 4.2.2)
+fig6      Delay difference VNS vs upstreams (Sec. 4.3)
+fig7      Incoming anycast traffic by region (Sec. 4.4)
+fig9      Video loss CCDFs, VNS vs transit (Sec. 5.1.1)
+fig10     Loss nature: loss vs lossy slots (Sec. 5.1.2)
+fig11     Last-mile loss and geography (Sec. 5.2.2)
+table1    Last-mile loss by AS type (Sec. 5.2.3)
+fig12     Diurnal loss patterns (Sec. 5.2.3)
+========  =====================================================
+"""
+
+from repro.experiments.common import World, WorldScale, build_world
+
+__all__ = ["World", "WorldScale", "build_world"]

@@ -1,0 +1,128 @@
+"""Figure 10: the nature of loss (Sec. 5.1.2).
+
+Loss percentage vs the number of lossy five-second slots (of 24), from
+the Amsterdam client over all six echo servers: through upstreams (top)
+and through VNS (bottom).  Three populations appear on the transit side —
+a linear random-loss baseline, short-burst outliers (top-left: large loss
+in few slots) and long-burst outliers (top-right: large loss throughout)
+— and "VNS infrastructure eliminates small loss that spans multiple
+slots as well as bursty outliers".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.experiments.common import World
+from repro.experiments.video import VideoCampaignResult, run_video_campaign
+from repro.media.codec import PROFILE_1080P
+
+#: The paper's horizontal reference line.
+LARGE_LOSS_PCT = 0.15
+
+
+class LossClass(enum.Enum):
+    """Which Fig. 10 population a session belongs to."""
+
+    NO_LOSS = "no-loss"
+    RANDOM_BASELINE = "random"  #: small loss spread across slots
+    SHORT_BURST = "short-burst"  #: large loss, few slots (upper left)
+    LONG_BURST = "long-burst"  #: large loss, many slots (upper right)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify(loss_percent: float, lossy_slots: int, n_slots: int = 24) -> LossClass:
+    """Map one session onto a Fig. 10 population."""
+    if lossy_slots == 0:
+        return LossClass.NO_LOSS
+    if loss_percent < LARGE_LOSS_PCT:
+        return LossClass.RANDOM_BASELINE
+    if lossy_slots <= max(3, n_slots // 8):
+        return LossClass.SHORT_BURST
+    if lossy_slots >= int(0.75 * n_slots):
+        return LossClass.LONG_BURST
+    return LossClass.RANDOM_BASELINE
+
+
+@dataclass(slots=True)
+class Fig10Result:
+    """Scatter points and population counts per transport."""
+
+    points: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+    counts: dict[str, dict[LossClass, int]] = field(default_factory=dict)
+
+    def scatter(self, transport: str) -> list[tuple[int, float]]:
+        """(lossy slots, loss %) pairs for one panel."""
+        return self.points.get(transport, [])
+
+    def count(self, transport: str, loss_class: LossClass) -> int:
+        return self.counts.get(transport, {}).get(loss_class, 0)
+
+    def sessions(self, transport: str) -> int:
+        return sum(self.counts.get(transport, {}).values())
+
+    def multi_slot_loss_fraction(self, transport: str, min_slots: int = 4) -> float:
+        """Fraction of sessions with loss spanning many slots."""
+        pts = self.points.get(transport, [])
+        if not pts:
+            return 0.0
+        return sum(1 for slots, _ in pts if slots >= min_slots) / len(pts)
+
+
+def analyze(campaign: VideoCampaignResult, *, client_pop: str = "AMS") -> Fig10Result:
+    """Build the Fig. 10 panels from an existing campaign run."""
+    result = Fig10Result()
+    for transport in ("T", "I"):
+        sessions = campaign.select(
+            client_pop=client_pop, transport=transport, profile=PROFILE_1080P
+        )
+        points: list[tuple[int, float]] = []
+        counts: dict[LossClass, int] = {cls: 0 for cls in LossClass}
+        for session in sessions:
+            slots = session.lossy_slots
+            loss = session.loss_percent
+            points.append((slots, loss))
+            counts[classify(loss, slots, session.measurement.outbound.n_slots)] += 1
+        result.points[transport] = points
+        result.counts[transport] = counts
+    return result
+
+
+def run(
+    world: World,
+    *,
+    days: int = 1,
+    minutes_between_rounds: float = 60.0,
+    client_pop: str = "AMS",
+) -> Fig10Result:
+    """Run a campaign for the Amsterdam client and analyse loss nature."""
+    campaign = run_video_campaign(
+        world,
+        days=days,
+        minutes_between_rounds=minutes_between_rounds,
+        client_pops=(client_pop,),
+    )
+    return analyze(campaign, client_pop=client_pop)
+
+
+def render(result: Fig10Result) -> str:
+    """Fig. 10 as population counts."""
+    lines = ["Fig 10 — loss nature (Amsterdam, 1080p, all echo servers)"]
+    lines.append("  transport  sessions  no-loss  random  short-burst  long-burst")
+    for transport, label in (("T", "upstreams"), ("I", "VNS")):
+        lines.append(
+            f"  {label:<10}{result.sessions(transport):8d}"
+            f"  {result.count(transport, LossClass.NO_LOSS):7d}"
+            f"  {result.count(transport, LossClass.RANDOM_BASELINE):6d}"
+            f"  {result.count(transport, LossClass.SHORT_BURST):11d}"
+            f"  {result.count(transport, LossClass.LONG_BURST):10d}"
+        )
+    lines.append(
+        "  multi-slot loss fraction: "
+        f"T {result.multi_slot_loss_fraction('T') * 100:.1f}% / "
+        f"I {result.multi_slot_loss_fraction('I') * 100:.1f}%"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Figure 12: diurnal patterns in last-mile loss (Sec. 5.2.3).
+
+From San Jose to LTPs/STPs/CAHPs/ECs in AP, EU and NA: the number of
+lossy measurement rounds per CET hour of day.  The reproduced shapes:
+
+* loss toward EU/NA destinations peaks during those regions' busy hours;
+* loss toward AP peaks with AP's *local* hours regardless of vantage
+  ("the network in AP region is congested to a level that masks the
+  congestion effect of remote networks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.common import World
+from repro.experiments.lastmile import LastMileData, run_lastmile_campaign
+from repro.geo.regions import WorldRegion, local_hour_to_cet
+from repro.net.asn import ASType
+
+_REGIONS = (
+    WorldRegion.ASIA_PACIFIC,
+    WorldRegion.EUROPE,
+    WorldRegion.NORTH_CENTRAL_AMERICA,
+)
+
+
+@dataclass(slots=True)
+class Fig12Result:
+    """Lossy-round counts per (AS type, dest region, CET hour)."""
+
+    vantage: str
+    series: dict[tuple[ASType, WorldRegion], list[int]] = field(default_factory=dict)
+
+    def hourly(self, as_type: ASType, region: WorldRegion) -> list[int]:
+        """The 24-element CET-hour series of one curve."""
+        return self.series.get((as_type, region), [0] * 24)
+
+    def peak_hour_cet(self, as_type: ASType, region: WorldRegion) -> int:
+        """CET hour with the most lossy rounds."""
+        counts = self.hourly(as_type, region)
+        return int(np.argmax(counts))
+
+    def peak_to_trough(self, as_type: ASType, region: WorldRegion) -> float:
+        """Peak over mean-of-quietest-6-hours: diurnal swing strength."""
+        counts = sorted(self.hourly(as_type, region))
+        trough = float(np.mean(counts[:6])) if counts else 0.0
+        peak = counts[-1] if counts else 0
+        if trough == 0.0:
+            return float(peak) if peak else 1.0
+        return peak / trough
+
+    def peak_within_local_window(
+        self,
+        as_type: ASType,
+        region: WorldRegion,
+        start_local: float = 8.0,
+        end_local: float = 23.0,
+    ) -> bool:
+        """Whether the peak falls in the destination's local busy window."""
+        peak = self.peak_hour_cet(as_type, region)
+        start_cet = local_hour_to_cet(start_local, region)
+        end_cet = local_hour_to_cet(end_local, region)
+        if start_cet <= end_cet:
+            return start_cet <= peak <= end_cet
+        return peak >= start_cet or peak <= end_cet
+
+
+def run(
+    world: World,
+    *,
+    vantage: str = "SJS",
+    hosts_per_type_per_region: int = 8,
+    days: int = 2,
+    minutes_between_rounds: float = 60.0,
+    data: LastMileData | None = None,
+) -> Fig12Result:
+    """Aggregate lossy rounds per hour from the campaign data."""
+    if data is None:
+        data = run_lastmile_campaign(
+            world,
+            hosts_per_type_per_region=hosts_per_type_per_region,
+            days=days,
+            minutes_between_rounds=minutes_between_rounds,
+        )
+    result = Fig12Result(vantage=vantage)
+    for as_type in ASType:
+        for region in _REGIONS:
+            counts = [
+                data.loss_round_count(
+                    pop_code=vantage,
+                    dest_region=region,
+                    as_type=as_type,
+                    hour_cet=hour,
+                )
+                for hour in range(24)
+            ]
+            result.series[(as_type, region)] = counts
+    return result
+
+
+def render(result: Fig12Result) -> str:
+    """Fig. 12 as peak hours and swing strengths."""
+    lines = [f"Fig 12 — diurnal loss from {result.vantage} (peak CET hour, swing)"]
+    lines.append("  type   region  peak@CET  swing   in-local-window")
+    labels = {
+        WorldRegion.ASIA_PACIFIC: "AP",
+        WorldRegion.EUROPE: "EU",
+        WorldRegion.NORTH_CENTRAL_AMERICA: "NA",
+    }
+    for as_type in ASType:
+        for region in _REGIONS:
+            peak = result.peak_hour_cet(as_type, region)
+            swing = result.peak_to_trough(as_type, region)
+            within = result.peak_within_local_window(as_type, region)
+            lines.append(
+                f"  {as_type.value:<6} {labels[region]:<7} {peak:8d}"
+                f"  {swing:5.1f}  {'yes' if within else 'no':>15}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Figure 6: delay difference, VNS vs upstreams (Sec. 4.3).
+
+One address per origin AS is probed simultaneously "through VNS and
+through its upstreams" from PoPs in Europe, the US and Asia Pacific; the
+figure shows the CDF of ``RTT_VNS − RTT_upstream`` per vantage PoP.
+Singapore performs best "due to the availability of direct dedicated
+links to Australia, USA and Europe".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataplane.transmit import simulate_ping
+from repro.experiments.common import World, experiment_rng
+from repro.measurement.stats import fraction_at_most
+
+
+@dataclass(slots=True)
+class Fig6Result:
+    """RTT differences (ms) per vantage PoP."""
+
+    diffs_by_pop: dict[str, list[float]] = field(default_factory=dict)
+
+    def fraction_vns_not_worse(self, pop_code: str) -> float:
+        """Fraction of destinations where VNS is at least as fast."""
+        return fraction_at_most(self.diffs_by_pop.get(pop_code, []), 0.0)
+
+    def fraction_within(self, pop_code: str, ms: float) -> float:
+        """Fraction of destinations stretched by at most ``ms``."""
+        return fraction_at_most(self.diffs_by_pop.get(pop_code, []), ms)
+
+    def measured(self, pop_code: str) -> int:
+        return len(self.diffs_by_pop.get(pop_code, []))
+
+
+#: The three vantage points Fig. 6 plots.
+DEFAULT_VANTAGES = ("SIN", "AMS", "SJS")
+
+
+def run(
+    world: World,
+    *,
+    vantage_pops: tuple[str, ...] = DEFAULT_VANTAGES,
+    probes_per_address: int = 5,
+    hour_cet: float = 12.0,
+    max_origins: int | None = None,
+) -> Fig6Result:
+    """Probe one prefix per origin AS via both transports."""
+    rng = experiment_rng(world, salt=6)
+    service = world.service
+    result = Fig6Result(diffs_by_pop={code: [] for code in vantage_pops})
+    origins = sorted(world.topology.ases)
+    if max_origins is not None:
+        origins = origins[:max_origins]
+    for origin in origins:
+        system = world.topology.autonomous_system(origin)
+        if not system.prefixes:
+            continue
+        prefix = system.prefixes[0]
+        destination = world.topology.prefix_location[prefix]
+        for code in vantage_pops:
+            via_vns = service.path_via_vns(code, prefix, destination)
+            via_upstream = service.path_local_exit(
+                code, prefix, destination, upstreams_only=True
+            )
+            if via_vns is None or via_upstream is None:
+                continue
+            ping_vns = simulate_ping(
+                via_vns, count=probes_per_address, hour_cet=hour_cet, rng=rng
+            )
+            ping_up = simulate_ping(
+                via_upstream, count=probes_per_address, hour_cet=hour_cet, rng=rng
+            )
+            if ping_vns.min_rtt_ms is None or ping_up.min_rtt_ms is None:
+                continue
+            result.diffs_by_pop[code].append(
+                ping_vns.min_rtt_ms - ping_up.min_rtt_ms
+            )
+    return result
+
+
+def render(result: Fig6Result) -> str:
+    """Fig. 6 as rows."""
+    lines = ["Fig 6 — RTT(VNS) - RTT(upstream) per vantage PoP"]
+    lines.append("  PoP   n      <=0ms    <=50ms")
+    for code, diffs in result.diffs_by_pop.items():
+        lines.append(
+            f"  {code:<4} {len(diffs):5d}  {result.fraction_vns_not_worse(code) * 100:6.1f}%"
+            f"  {result.fraction_within(code, 50.0) * 100:6.1f}%"
+        )
+    return "\n".join(lines)

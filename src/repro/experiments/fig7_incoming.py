@@ -1,0 +1,99 @@
+"""Figure 7: incoming anycast traffic by region (Sec. 4.4).
+
+60k TURN authentication requests from users across seven world regions;
+the figure shows which PoP region (EU / US / AP / OC) received each
+region's requests — "the incoming traffic follows geography to a large
+extent".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.common import World, experiment_rng
+from repro.geo.regions import POP_REGION_FOR_WORLD_REGION, PopRegion, WorldRegion
+from repro.media.turn import TurnService
+from repro.net.asn import ASType
+
+
+@dataclass(slots=True)
+class Fig7Result:
+    """Requests per (user world region, receiving PoP region)."""
+
+    matrix: dict[WorldRegion, dict[PopRegion, int]] = field(default_factory=dict)
+
+    def fraction(self, user_region: WorldRegion, pop_region: PopRegion) -> float:
+        """Share of a region's requests landing on one PoP region."""
+        row = self.matrix.get(user_region, {})
+        total = sum(row.values())
+        if total == 0:
+            return 0.0
+        return row.get(pop_region, 0) / total
+
+    def dominant_pop_region(self, user_region: WorldRegion) -> PopRegion | None:
+        """The PoP region receiving most of a user region's traffic."""
+        row = self.matrix.get(user_region, {})
+        if not row:
+            return None
+        return max(row, key=lambda region: row[region])
+
+    def follows_geography(self, user_region: WorldRegion) -> bool:
+        """Whether the dominant catchment is the geographically matching one."""
+        return self.dominant_pop_region(user_region) is POP_REGION_FOR_WORLD_REGION[
+            user_region
+        ]
+
+
+def run(world: World, *, requests: int = 2000) -> Fig7Result:
+    """Simulate authentication requests from users everywhere.
+
+    Users are sampled from edge networks (ECs and CAHPs preferred) with
+    locations jittered around their AS's prefixes; each request resolves
+    its anycast entry PoP through Internet routing.
+    """
+    rng = experiment_rng(world, salt=7)
+    service = world.service
+    turn = TurnService(service)
+    topology = world.topology
+    edge_systems = [
+        system
+        for system in topology.ases.values()
+        if system.as_type in (ASType.EC, ASType.CAHP) and system.prefixes
+    ]
+    if not edge_systems:
+        edge_systems = [s for s in topology.ases.values() if s.prefixes]
+    result = Fig7Result()
+    for index in range(requests):
+        system = edge_systems[int(rng.integers(0, len(edge_systems)))]
+        prefix = system.prefixes[int(rng.integers(0, len(system.prefixes)))]
+        location = topology.host_location(prefix, rng)
+        user_region = system.home.city.region
+        _, pop = turn.request(f"user-{index}", system.asn, location)
+        if pop is None:
+            continue
+        row = result.matrix.setdefault(user_region, {})
+        row[pop.region] = row.get(pop.region, 0) + 1
+    return result
+
+
+def render(result: Fig7Result) -> str:
+    """Fig. 7 as a region x PoP-region matrix."""
+    lines = ["Fig 7 — anycast catchment (rows: user region, cols: PoP region)"]
+    header = "  " + f"{'region':<28}" + "".join(
+        f"{region.value:>7}" for region in PopRegion
+    )
+    lines.append(header)
+    for user_region in WorldRegion:
+        row = result.matrix.get(user_region)
+        if not row:
+            continue
+        cells = "".join(
+            f"{result.fraction(user_region, pop_region) * 100:6.1f}%"
+            for pop_region in PopRegion
+        )
+        marker = " *" if result.follows_geography(user_region) else "  "
+        lines.append(f"  {user_region.value:<28}{cells}{marker}")
+    lines.append("  (* dominant catchment matches geography)")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Spherical geodesy primitives.
+
+The paper computes "the shortest distance between two points that lie on a
+surface of a sphere, often referred to as the great-circle distance" between
+an egress router's known location and a prefix's GeoIP location.  We use the
+haversine formulation, which is numerically stable for the small distances
+that matter most for egress tie-breaking.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Mean Earth radius in kilometres (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A point on the Earth's surface.
+
+    Parameters
+    ----------
+    lat:
+        Latitude in decimal degrees, in ``[-90, 90]``.
+    lon:
+        Longitude in decimal degrees, in ``[-180, 180]``.
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude {self.lat!r} outside [-90, 90]")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude {self.lon!r} outside [-180, 180]")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return great_circle_km(self, other)
+
+    def __str__(self) -> str:
+        ns = "N" if self.lat >= 0 else "S"
+        ew = "E" if self.lon >= 0 else "W"
+        return f"{abs(self.lat):.4f}{ns},{abs(self.lon):.4f}{ew}"
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle (haversine) distance between two points, in km.
+
+    This is the distance metric the modified route reflector uses to rank
+    candidate egress PoPs for a destination prefix.
+    """
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.lon - a.lon)
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    # Clamp against floating point drift before the sqrt/asin.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial bearing (forward azimuth) from ``a`` to ``b`` in degrees.
+
+    Returned in ``[0, 360)``, measured clockwise from true north.
+    """
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlon = math.radians(b.lon - a.lon)
+    x = math.sin(dlon) * math.cos(lat2)
+    y = math.cos(lat1) * math.sin(lat2) - math.sin(lat1) * math.cos(lat2) * math.cos(dlon)
+    return math.degrees(math.atan2(x, y)) % 360.0
+
+
+def destination_point(origin: GeoPoint, bearing_deg: float, distance_km: float) -> GeoPoint:
+    """The point ``distance_km`` away from ``origin`` along ``bearing_deg``.
+
+    Used to jitter synthetic host and prefix locations around a city centre
+    so that a city's prefixes are not all co-located.
+    """
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km!r}")
+    ang = distance_km / EARTH_RADIUS_KM
+    brg = math.radians(bearing_deg)
+    lat1 = math.radians(origin.lat)
+    lon1 = math.radians(origin.lon)
+    lat2 = math.asin(
+        math.sin(lat1) * math.cos(ang) + math.cos(lat1) * math.sin(ang) * math.cos(brg)
+    )
+    lon2 = lon1 + math.atan2(
+        math.sin(brg) * math.sin(ang) * math.cos(lat1),
+        math.cos(ang) - math.sin(lat1) * math.sin(lat2),
+    )
+    # Normalise longitude to [-180, 180].
+    lon_deg = (math.degrees(lon2) + 540.0) % 360.0 - 180.0
+    return GeoPoint(lat=math.degrees(lat2), lon=lon_deg)
+
+
+def midpoint(a: GeoPoint, b: GeoPoint) -> GeoPoint:
+    """Geographic midpoint of the great-circle segment between two points."""
+    lat1 = math.radians(a.lat)
+    lon1 = math.radians(a.lon)
+    lat2 = math.radians(b.lat)
+    dlon = math.radians(b.lon - a.lon)
+    bx = math.cos(lat2) * math.cos(dlon)
+    by = math.cos(lat2) * math.sin(dlon)
+    lat3 = math.atan2(
+        math.sin(lat1) + math.sin(lat2),
+        math.sqrt((math.cos(lat1) + bx) ** 2 + by**2),
+    )
+    lon3 = lon1 + math.atan2(by, math.cos(lat1) + bx)
+    lon_deg = (math.degrees(lon3) + 540.0) % 360.0 - 180.0
+    return GeoPoint(lat=math.degrees(lat3), lon=lon_deg)

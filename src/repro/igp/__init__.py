@@ -1,0 +1,11 @@
+"""Intra-AS link-state routing (the paper: "IGP is used for internal routing").
+
+Provides the weighted graph of a single AS's internal topology and
+Dijkstra shortest-path-first computation.  BGP's hot-potato tie-break and
+the data-plane path through VNS's L2 links both consume SPF results.
+"""
+
+from repro.igp.graph import IgpGraph, IgpLink
+from repro.igp.spf import ShortestPaths, spf
+
+__all__ = ["IgpGraph", "IgpLink", "spf", "ShortestPaths"]

@@ -1,0 +1,46 @@
+"""Measurement infrastructure: probes, schedules, statistics.
+
+Reimplements the paper's measurement campaigns as reusable pieces: ICMP
+ping probing with min-RTT recording (Sec. 4.1/4.3), back-to-back loss
+probes (Sec. 5.2), CET-based schedules, and the CDF/CCDF statistics every
+figure plots.
+"""
+
+from repro.measurement.stats import (
+    Ccdf,
+    Cdf,
+    OnlineStats,
+    fraction_at_most,
+    fraction_exceeding,
+    percentile,
+)
+from repro.measurement.scheduler import (
+    hourly_rounds,
+    half_hourly_rounds,
+    rounds_every,
+)
+from repro.measurement.ping import PingCampaign, PopRttMeasurement
+from repro.measurement.probes import (
+    LossProbeCampaign,
+    ProbeObservation,
+    TargetHost,
+    select_hosts,
+)
+
+__all__ = [
+    "Cdf",
+    "Ccdf",
+    "OnlineStats",
+    "percentile",
+    "fraction_at_most",
+    "fraction_exceeding",
+    "rounds_every",
+    "half_hourly_rounds",
+    "hourly_rounds",
+    "PingCampaign",
+    "PopRttMeasurement",
+    "LossProbeCampaign",
+    "ProbeObservation",
+    "TargetHost",
+    "select_hosts",
+]

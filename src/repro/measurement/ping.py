@@ -1,0 +1,86 @@
+"""ICMP ping campaigns from VNS PoPs.
+
+Section 4.1: "We probe the first IP address in each destination prefix in
+the routing table from all PoPs.  A probe consists of 5 ICMP ping
+packets, and we record the lowest observed round-trip time.  The probing
+packets are forced out of VNS immediately at each PoP."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataplane.transmit import simulate_ping
+from repro.net.addressing import Prefix
+from repro.vns.pop import POPS
+from repro.vns.service import VideoNetworkService
+
+
+@dataclass(slots=True)
+class PopRttMeasurement:
+    """Min-RTTs to one prefix from every PoP that reached it."""
+
+    prefix: Prefix
+    rtt_ms_by_pop: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def best_pop(self) -> str | None:
+        """The PoP with the lowest measured RTT (network-proximity winner)."""
+        if not self.rtt_ms_by_pop:
+            return None
+        return min(self.rtt_ms_by_pop, key=lambda code: self.rtt_ms_by_pop[code])
+
+    @property
+    def best_rtt_ms(self) -> float | None:
+        best = self.best_pop
+        return None if best is None else self.rtt_ms_by_pop[best]
+
+    def rtt_from(self, pop_code: str) -> float | None:
+        return self.rtt_ms_by_pop.get(pop_code)
+
+
+class PingCampaign:
+    """Probes prefixes from all (or selected) PoPs, locally forced out."""
+
+    def __init__(
+        self,
+        service: VideoNetworkService,
+        rng: np.random.Generator,
+        *,
+        packets_per_probe: int = 5,
+        pop_codes: list[str] | None = None,
+    ) -> None:
+        if packets_per_probe <= 0:
+            raise ValueError("packets_per_probe must be positive")
+        self.service = service
+        self.rng = rng
+        self.packets_per_probe = packets_per_probe
+        self.pop_codes = pop_codes or [pop.code for pop in POPS]
+
+    def probe_prefix(self, prefix: Prefix, hour_cet: float = 12.0) -> PopRttMeasurement:
+        """Probe one prefix's first host address from every campaign PoP."""
+        result = PopRttMeasurement(prefix=prefix)
+        destination = self.service.topology.prefix_location[prefix]
+        for code in self.pop_codes:
+            path = self.service.path_local_exit(code, prefix, destination)
+            if path is None:
+                continue
+            ping = simulate_ping(
+                path, count=self.packets_per_probe, hour_cet=hour_cet, rng=self.rng
+            )
+            if ping.min_rtt_ms is not None:
+                result.rtt_ms_by_pop[code] = ping.min_rtt_ms
+        return result
+
+    def probe_all(
+        self, prefixes: list[Prefix], hour_cet: float = 12.0
+    ) -> dict[Prefix, PopRttMeasurement]:
+        """Probe many prefixes; skips prefixes nobody could reach."""
+        results: dict[Prefix, PopRttMeasurement] = {}
+        for prefix in prefixes:
+            measurement = self.probe_prefix(prefix, hour_cet)
+            if measurement.rtt_ms_by_pop:
+                results[prefix] = measurement
+        return results

@@ -1,0 +1,56 @@
+"""Measurement schedules, expressed as CET hours across simulated days.
+
+The paper's campaigns are periodic: streams "once every half hour" for
+two weeks (Sec. 5.1), probes "once every 10 minutes" for three weeks
+(Sec. 5.2).  A schedule here is simply the sequence of CET hour-of-day
+stamps at which rounds fire; the day index is carried so campaigns can be
+scaled down while keeping full diurnal coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Round:
+    """One measurement round."""
+
+    day: int
+    hour_cet: float
+
+    @property
+    def absolute_hours(self) -> float:
+        """Hours since campaign start."""
+        return self.day * 24.0 + self.hour_cet
+
+
+def rounds_every(minutes: float, days: int, start_hour: float = 0.0) -> list[Round]:
+    """Rounds every ``minutes`` across ``days`` full days.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive period or negative day count.
+    """
+    if minutes <= 0:
+        raise ValueError(f"period must be positive, got {minutes!r}")
+    if days < 0:
+        raise ValueError(f"days must be non-negative, got {days!r}")
+    per_day = int(round(24 * 60 / minutes))
+    rounds: list[Round] = []
+    for day in range(days):
+        for slot in range(per_day):
+            hour = (start_hour + slot * minutes / 60.0) % 24.0
+            rounds.append(Round(day=day, hour_cet=hour))
+    return rounds
+
+
+def half_hourly_rounds(days: int) -> list[Round]:
+    """The Sec. 5.1 streaming schedule: every 30 minutes."""
+    return rounds_every(30.0, days)
+
+
+def hourly_rounds(days: int) -> list[Round]:
+    """A coarser schedule for scaled-down campaigns."""
+    return rounds_every(60.0, days)

@@ -1,0 +1,164 @@
+"""Statistics helpers for measurement analysis (CDFs, CCDFs, summaries)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class Cdf:
+    """An empirical cumulative distribution function."""
+
+    xs: np.ndarray
+    ps: np.ndarray
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Cdf":
+        """Build from raw samples.
+
+        Raises
+        ------
+        ValueError
+            For an empty sample set.
+        """
+        data = np.asarray(sorted(values), dtype=float)
+        if data.size == 0:
+            raise ValueError("cannot build a CDF from no samples")
+        ps = np.arange(1, data.size + 1) / data.size
+        return cls(xs=data, ps=ps)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.xs, x, side="right") / self.xs.size)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 < q <= 1).
+
+        Raises
+        ------
+        ValueError
+            For q outside (0, 1].
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        index = min(self.xs.size - 1, int(np.ceil(q * self.xs.size)) - 1)
+        return float(self.xs[max(index, 0)])
+
+    def series(self) -> list[tuple[float, float]]:
+        """(x, P(X<=x)) pairs, suitable for plotting or table rendering."""
+        return list(zip(self.xs.tolist(), self.ps.tolist()))
+
+    def __len__(self) -> int:
+        return int(self.xs.size)
+
+
+@dataclass(slots=True)
+class Ccdf:
+    """An empirical complementary CDF: P(X > x)."""
+
+    xs: np.ndarray
+    ps: np.ndarray
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Ccdf":
+        """Build from raw samples.
+
+        Raises
+        ------
+        ValueError
+            For an empty sample set.
+        """
+        cdf = Cdf.of(values)
+        return cls(xs=cdf.xs, ps=1.0 - cdf.ps + 1.0 / cdf.xs.size)
+
+    def at(self, x: float) -> float:
+        """P(X > x)."""
+        data = self.xs
+        return float((data > x).sum() / data.size)
+
+    def series(self) -> list[tuple[float, float]]:
+        """(x, P(X>x)) pairs."""
+        return list(zip(self.xs.tolist(), self.ps.tolist()))
+
+    def __len__(self) -> int:
+        return int(self.xs.size)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) of ``values``.
+
+    Raises
+    ------
+    ValueError
+        For empty input or q outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def fraction_exceeding(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly above ``threshold``.
+
+    The paper's headline loss numbers are of this form ("43% of the
+    streams ... experience more than 0.15% loss").
+    """
+    if not values:
+        return 0.0
+    data = np.asarray(values, dtype=float)
+    return float((data > threshold).mean())
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples at or below ``threshold``."""
+    if not values:
+        return 0.0
+    data = np.asarray(values, dtype=float)
+    return float((data <= threshold).mean())
+
+
+class OnlineStats:
+    """Streaming mean/min/max/count (Welford variance) accumulator."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return float(np.sqrt(self.variance))

@@ -1,0 +1,103 @@
+"""RTP session bookkeeping.
+
+A thin RTP layer: sequence numbering, SSRCs, and the RFC 3550 receiver
+accounting (expected vs received) that the measurement client uses to
+count loss per 5-second slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.media.codec import VideoProfile
+
+
+@dataclass(frozen=True, slots=True)
+class RtpStreamSpec:
+    """Static description of one RTP stream."""
+
+    ssrc: int
+    profile: VideoProfile
+    duration_s: float = 120.0
+    slot_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s!r}")
+        if self.slot_s <= 0:
+            raise ValueError(f"slot length must be positive, got {self.slot_s!r}")
+
+    @property
+    def n_slots(self) -> int:
+        """Number of loss-accounting slots (24 for the paper's 2-minute runs)."""
+        return max(1, int(round(self.duration_s / self.slot_s)))
+
+    @property
+    def packets_per_slot(self) -> int:
+        return self.profile.packets_in(self.slot_s)
+
+    @property
+    def total_packets(self) -> int:
+        return self.packets_per_slot * self.n_slots
+
+
+@dataclass(slots=True)
+class RtpSession:
+    """Receiver-side RTP accounting for one stream."""
+
+    spec: RtpStreamSpec
+    received_per_slot: list[int] = field(default_factory=list)
+    highest_seq: int = -1
+
+    def record_slot(self, received: int) -> None:
+        """Record one slot's received-packet count.
+
+        Raises
+        ------
+        ValueError
+            If more packets are recorded than the slot can carry, or the
+            stream already ended.
+        """
+        if received < 0 or received > self.spec.packets_per_slot:
+            raise ValueError(
+                f"received {received} outside [0, {self.spec.packets_per_slot}]"
+            )
+        if len(self.received_per_slot) >= self.spec.n_slots:
+            raise ValueError("stream already complete")
+        self.received_per_slot.append(received)
+        self.highest_seq += self.spec.packets_per_slot
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received_per_slot) == self.spec.n_slots
+
+    @property
+    def expected(self) -> int:
+        """RFC 3550 'expected' packet count so far."""
+        return len(self.received_per_slot) * self.spec.packets_per_slot
+
+    @property
+    def received(self) -> int:
+        return sum(self.received_per_slot)
+
+    @property
+    def lost(self) -> int:
+        return self.expected - self.received
+
+    def slot_losses(self) -> np.ndarray:
+        """Lost packets per slot (the Fig. 10 instrumentation)."""
+        per_slot = self.spec.packets_per_slot
+        return np.array([per_slot - got for got in self.received_per_slot])
+
+    @property
+    def loss_percent(self) -> float:
+        if self.expected == 0:
+            return 0.0
+        return 100.0 * self.lost / self.expected
+
+
+def new_ssrc(rng: np.random.Generator) -> int:
+    """A random 32-bit SSRC."""
+    return int(rng.integers(0, 2**32))

@@ -1,0 +1,107 @@
+"""Autonomous Systems and the Dhamdhere-Dovrolis type taxonomy.
+
+Section 5.2 groups last-mile hosts "into the four types of ASes; Large
+Transit Provider (LTP), Small Transit Provider (STP), Content Access
+Hosting Provider (CAHP), and Enterprise Customer (EC)".  The same taxonomy
+drives the synthetic topology: the type determines an AS's size, its place
+in the customer-provider hierarchy, and (in the data plane) how congested
+its access links are.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geo.cities import City
+from repro.geo.coords import GeoPoint
+from repro.net.addressing import Prefix
+
+
+class ASType(enum.Enum):
+    """Dhamdhere-Dovrolis AS classes."""
+
+    LTP = "LTP"  #: Large Transit Provider (Tier-1-like, global footprint)
+    STP = "STP"  #: Small Transit Provider (regional transit)
+    CAHP = "CAHP"  #: Content/Access/Hosting Provider (serves residential users)
+    EC = "EC"  #: Enterprise Customer (stub network)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Whether a type offers transit to customers.
+TRANSIT_TYPES = frozenset({ASType.LTP, ASType.STP})
+
+
+@dataclass(slots=True)
+class PresencePoint:
+    """One location where an AS has infrastructure (a provider PoP)."""
+
+    city: City
+    location: GeoPoint
+
+    def __str__(self) -> str:
+        return f"{self.city.name}"
+
+
+@dataclass(slots=True)
+class AutonomousSystem:
+    """A synthetic AS.
+
+    Parameters
+    ----------
+    asn:
+        The AS number (unique).
+    name:
+        Human-readable label, e.g. ``"STP-1204 (Warsaw)"``.
+    as_type:
+        Dhamdhere-Dovrolis class.
+    home:
+        The AS's main presence point; stubs only have this one.
+    presence:
+        All presence points, ``home`` included.  Transit ASes have many.
+    prefixes:
+        Prefixes this AS originates, with each prefix's true location.
+    """
+
+    asn: int
+    name: str
+    as_type: ASType
+    home: PresencePoint
+    presence: list[PresencePoint] = field(default_factory=list)
+    prefixes: list[Prefix] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn!r}")
+        if not self.presence:
+            self.presence = [self.home]
+
+    @property
+    def is_transit(self) -> bool:
+        """Whether this AS sells transit (LTP or STP)."""
+        return self.as_type in TRANSIT_TYPES
+
+    @property
+    def is_stub(self) -> bool:
+        """Whether this AS only originates its own prefixes."""
+        return not self.is_transit
+
+    def presence_cities(self) -> list[City]:
+        """Cities where the AS has a presence point."""
+        return [point.city for point in self.presence]
+
+    def nearest_presence(self, target: GeoPoint) -> PresencePoint:
+        """The presence point geographically nearest to ``target``.
+
+        Models hot-potato waypoint selection inside a transit AS when
+        assembling data-plane paths.
+        """
+        return min(self.presence, key=lambda p: p.location.distance_km(target))
+
+    def __str__(self) -> str:
+        return f"AS{self.asn}({self.as_type}, {self.home.city.name})"
+
+    def __hash__(self) -> int:
+        return hash(self.asn)

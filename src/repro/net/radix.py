@@ -1,0 +1,177 @@
+"""A binary radix (Patricia-style) trie for longest-prefix matching.
+
+Routers forward on the most specific matching prefix; the management
+interface in Sec. 3.2 relies on this when it statically advertises
+more-specific prefixes to pull remote subnets toward a different egress.
+This trie backs every FIB in the simulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Generic, TypeVar
+
+from repro.net.addressing import IPv4Address, Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("zero", "one", "prefix", "value", "occupied")
+
+    def __init__(self) -> None:
+        self.zero: _Node[V] | None = None
+        self.one: _Node[V] | None = None
+        self.prefix: Prefix | None = None
+        self.value: V | None = None
+        self.occupied = False
+
+
+def _bit(network: int, index: int) -> int:
+    """The ``index``-th most significant bit of a 32-bit network value."""
+    return (network >> (31 - index)) & 1
+
+
+class RadixTree(Generic[V]):
+    """Maps :class:`Prefix` keys to arbitrary values with LPM lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix) is not _MISSING
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for i in range(prefix.length):
+            if _bit(prefix.network, i):
+                if node.one is None:
+                    node.one = _Node()
+                node = node.one
+            else:
+                if node.zero is None:
+                    node.zero = _Node()
+                node = node.zero
+        if not node.occupied:
+            self._size += 1
+        node.prefix = prefix
+        node.value = value
+        node.occupied = True
+
+    def get(self, prefix: Prefix) -> V | object:
+        """Exact-match lookup; returns the ``MISSING`` sentinel if absent."""
+        node: _Node[V] | None = self._root
+        for i in range(prefix.length):
+            if node is None:
+                return _MISSING
+            node = node.one if _bit(prefix.network, i) else node.zero
+        if node is None or not node.occupied:
+            return _MISSING
+        return node.value
+
+    def exact(self, prefix: Prefix) -> V:
+        """Exact-match lookup.
+
+        Raises
+        ------
+        KeyError
+            If the prefix is not in the tree.
+        """
+        value = self.get(prefix)
+        if value is _MISSING:
+            raise KeyError(str(prefix))
+        return value  # type: ignore[return-value]
+
+    def delete(self, prefix: Prefix) -> None:
+        """Remove ``prefix``.
+
+        Raises
+        ------
+        KeyError
+            If the prefix is not in the tree.
+        """
+        path: list[_Node[V]] = [self._root]
+        node: _Node[V] | None = self._root
+        for i in range(prefix.length):
+            node = node.one if _bit(prefix.network, i) else node.zero
+            if node is None:
+                raise KeyError(str(prefix))
+            path.append(node)
+        if not node.occupied:
+            raise KeyError(str(prefix))
+        node.occupied = False
+        node.prefix = None
+        node.value = None
+        self._size -= 1
+        # Prune now-empty leaf chains so lookups stay shallow.
+        for depth in range(len(path) - 1, 0, -1):
+            child = path[depth]
+            if child.occupied or child.zero is not None or child.one is not None:
+                break
+            parent = path[depth - 1]
+            if parent.one is child:
+                parent.one = None
+            else:
+                parent.zero = None
+
+    def longest_match(self, address: IPv4Address) -> tuple[Prefix, V] | None:
+        """The most specific stored prefix containing ``address``.
+
+        Returns ``None`` when no stored prefix matches (no default route).
+        """
+        best: tuple[Prefix, V] | None = None
+        node: _Node[V] | None = self._root
+        value = address.value
+        depth = 0
+        while node is not None:
+            if node.occupied:
+                assert node.prefix is not None
+                best = (node.prefix, node.value)  # type: ignore[assignment]
+            if depth == 32:
+                break
+            node = node.one if _bit(value, depth) else node.zero
+            depth += 1
+        return best
+
+    def matches(self, address: IPv4Address) -> list[tuple[Prefix, V]]:
+        """All stored prefixes containing ``address``, least specific first."""
+        found: list[tuple[Prefix, V]] = []
+        node: _Node[V] | None = self._root
+        value = address.value
+        depth = 0
+        while node is not None:
+            if node.occupied:
+                assert node.prefix is not None
+                found.append((node.prefix, node.value))  # type: ignore[arg-type]
+            if depth == 32:
+                break
+            node = node.one if _bit(value, depth) else node.zero
+            depth += 1
+        return found
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """Iterate all ``(prefix, value)`` pairs in depth-first order."""
+        stack: list[_Node[V]] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.occupied:
+                assert node.prefix is not None
+                yield node.prefix, node.value  # type: ignore[misc]
+            if node.one is not None:
+                stack.append(node.one)
+            if node.zero is not None:
+                stack.append(node.zero)
+
+    def prefixes(self) -> list[Prefix]:
+        """All stored prefixes."""
+        return [prefix for prefix, _ in self.items()]
+
+
+#: Sentinel distinguishing "stored None" from "absent".
+_MISSING = object()
+MISSING = _MISSING

@@ -1,0 +1,87 @@
+"""Unit tests for BGP path attributes."""
+
+import pytest
+
+from repro.bgp.attributes import NO_EXPORT, AsPath, Origin, Route
+from repro.net.addressing import Prefix
+
+PFX = Prefix.parse("203.0.113.0/24")
+
+
+class TestAsPath:
+    def test_prepend(self):
+        path = AsPath((2, 3)).prepend(1)
+        assert path.asns == (1, 2, 3)
+        assert len(path) == 3
+
+    def test_prepend_multiple(self):
+        path = AsPath((2,)).prepend(1, count=3)
+        assert path.asns == (1, 1, 1, 2)
+
+    def test_prepend_zero_rejected(self):
+        with pytest.raises(ValueError):
+            AsPath().prepend(1, count=0)
+
+    def test_first_hop_and_origin(self):
+        path = AsPath((10, 20, 30))
+        assert path.first_hop == 10
+        assert path.origin_as == 30
+
+    def test_empty_path(self):
+        path = AsPath()
+        assert path.first_hop is None
+        assert path.origin_as is None
+        assert str(path) == "(empty)"
+
+    def test_loop_detection(self):
+        assert AsPath((1, 2, 3)).has_loop(2)
+        assert not AsPath((1, 2, 3)).has_loop(4)
+
+    def test_iteration_and_contains(self):
+        path = AsPath((5, 6))
+        assert list(path) == [5, 6]
+        assert 5 in path
+
+
+class TestRoute:
+    def make(self, **kwargs) -> Route:
+        defaults = dict(prefix=PFX, as_path=AsPath((1, 2)), next_hop="r1")
+        defaults.update(kwargs)
+        return Route(**defaults)
+
+    def test_defaults(self):
+        route = self.make()
+        assert route.local_pref == 100
+        assert route.origin is Origin.IGP
+        assert route.med == 0
+        assert not route.ebgp
+
+    def test_neighbor_as(self):
+        assert self.make().neighbor_as == 1
+
+    def test_with_communities(self):
+        route = self.make().with_communities(NO_EXPORT, "rel:peer")
+        assert NO_EXPORT in route.communities
+        assert "rel:peer" in route.communities
+
+    def test_received_stamps_metadata(self):
+        route = self.make().received(learned_from="peerX", ebgp=True)
+        assert route.learned_from == "peerX"
+        assert route.ebgp
+
+    def test_reflected_sets_originator_once(self):
+        route = self.make().reflected(originator="rA", cluster_id="c1")
+        assert route.originator_id == "rA"
+        assert route.cluster_list == ("c1",)
+        again = route.reflected(originator="rB", cluster_id="c2")
+        # ORIGINATOR_ID is set only by the first reflector.
+        assert again.originator_id == "rA"
+        assert again.cluster_list == ("c2", "c1")
+
+    def test_origin_preference_order(self):
+        assert Origin.IGP < Origin.EGP < Origin.INCOMPLETE
+
+    def test_immutability(self):
+        route = self.make()
+        with pytest.raises(AttributeError):
+            route.local_pref = 500  # type: ignore[misc]

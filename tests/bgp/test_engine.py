@@ -1,0 +1,85 @@
+"""Unit tests for the BGP message engine."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, Route
+from repro.bgp.engine import BgpEngine, ConvergenceError
+from repro.bgp.messages import Update
+from repro.bgp.router import BgpRouter
+from repro.bgp.session import Session, SessionType
+from repro.net.addressing import Prefix
+
+PFX = Prefix.parse("203.0.113.0/24")
+ASN = 65000
+
+
+def build_pair() -> tuple[BgpEngine, BgpRouter, BgpRouter]:
+    engine = BgpEngine()
+    a = BgpRouter("a", ASN)
+    b = BgpRouter("b", ASN)
+    a.add_session(Session(peer_id="b", session_type=SessionType.IBGP, peer_asn=ASN))
+    b.add_session(Session(peer_id="a", session_type=SessionType.IBGP, peer_asn=ASN))
+    a.add_session(Session(peer_id="ext", session_type=SessionType.EBGP, peer_asn=100))
+    engine.add_router(a)
+    engine.add_router(b)
+    return engine, a, b
+
+
+def ext_update() -> Update:
+    return Update(
+        sender="ext",
+        receiver="a",
+        route=Route(prefix=PFX, as_path=AsPath((100, 9)), next_hop="ext"),
+    )
+
+
+class TestEngine:
+    def test_duplicate_router_rejected(self):
+        engine = BgpEngine()
+        engine.add_router(BgpRouter("a", ASN))
+        with pytest.raises(ValueError):
+            engine.add_router(BgpRouter("a", ASN))
+
+    def test_delivery_propagates(self):
+        engine, a, b = build_pair()
+        engine.inject(ext_update())
+        delivered = engine.run()
+        assert delivered >= 2
+        assert a.best(PFX) is not None
+        assert b.best(PFX) is not None
+        assert b.best(PFX).next_hop == "a"
+
+    def test_converged_flag(self):
+        engine, *_ = build_pair()
+        assert engine.converged
+        engine.inject(ext_update())
+        assert not engine.converged
+        engine.run()
+        assert engine.converged
+
+    def test_step_returns_false_when_empty(self):
+        engine, *_ = build_pair()
+        assert not engine.step()
+
+    def test_external_outbox_captures_ebgp(self):
+        engine, a, b = build_pair()
+        engine.inject(a.originate(PFX))
+        engine.run()
+        assert any(m.receiver == "ext" for m in engine.external_outbox)
+
+    def test_message_budget(self):
+        engine, *_ = build_pair()
+        engine.inject(ext_update())
+        with pytest.raises(ConvergenceError):
+            engine.run(max_messages=0)
+
+    def test_unknown_router_lookup(self):
+        engine, *_ = build_pair()
+        with pytest.raises(KeyError):
+            engine.router("zzz")
+
+    def test_inject_single_message(self):
+        engine, a, b = build_pair()
+        engine.inject(ext_update())
+        engine.run()
+        assert engine.delivered >= 1

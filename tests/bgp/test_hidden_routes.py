@@ -1,0 +1,125 @@
+"""The hidden-routes pathology and the best-external fix (Sec. 3.2).
+
+Reconstructs the paper's example: egress router A is geographically
+closer to prefix p than router B, but the reflector hears B's route
+first, assigns it a high geo preference, and reflects it; A then prefers
+the reflected route and — without best-external — never tells the
+reflector about its own, better external route.  The network converges to
+the wrong egress.  Enabling "advertise best external" repairs it.
+"""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, Route
+from repro.bgp.engine import BgpEngine
+from repro.bgp.messages import Update
+from repro.bgp.router import BgpRouter
+from repro.bgp.session import Session, SessionType
+from repro.geo.coords import GeoPoint
+from repro.geo.geoip import GeoIPDatabase
+from repro.net.addressing import Prefix
+from repro.vns.geo_rr import GeoRouteReflector
+
+ASN = 65000
+PFX = Prefix.parse("203.0.113.0/24")
+AMSTERDAM = GeoPoint(52.37, 4.90)
+SINGAPORE = GeoPoint(1.35, 103.82)
+NEAR_AMSTERDAM = GeoPoint(51.9, 4.5)
+
+
+def build(enable_best_external: bool) -> tuple[BgpEngine, BgpRouter, BgpRouter]:
+    geoip = GeoIPDatabase()
+    geoip.register(PFX, NEAR_AMSTERDAM, "NL")
+    engine = BgpEngine()
+    router_a = BgpRouter(
+        "A", ASN, location=AMSTERDAM, enable_best_external=enable_best_external
+    )
+    router_b = BgpRouter(
+        "B", ASN, location=SINGAPORE, enable_best_external=enable_best_external
+    )
+    reflector = GeoRouteReflector(
+        "RR",
+        ASN,
+        geoip=geoip,
+        router_locations={"A": AMSTERDAM, "B": SINGAPORE},
+    )
+    for router in (router_a, router_b):
+        router.add_session(
+            Session(peer_id="RR", session_type=SessionType.IBGP, peer_asn=ASN)
+        )
+        reflector.add_session(
+            Session(
+                peer_id=router.router_id,
+                session_type=SessionType.IBGP,
+                peer_asn=ASN,
+                rr_client=True,
+            )
+        )
+        router.add_session(
+            Session(
+                peer_id=f"ext-{router.router_id}",
+                session_type=SessionType.EBGP,
+                peer_asn=100,
+            )
+        )
+        engine.add_router(router)
+    engine.add_router(reflector)
+    return engine, router_a, router_b
+
+
+def inject_external(engine: BgpEngine, router_id: str) -> None:
+    engine.inject(
+        Update(
+            sender=f"ext-{router_id}",
+            receiver=router_id,
+            route=Route(
+                prefix=PFX, as_path=AsPath((100, 9)), next_hop=f"ext-{router_id}"
+            ),
+        )
+    )
+
+
+class TestHiddenRoutes:
+    def test_worst_case_order_without_best_external(self):
+        engine, router_a, router_b = build(enable_best_external=False)
+        inject_external(engine, "B")  # the far egress is heard first
+        engine.run()
+        inject_external(engine, "A")
+        engine.run()
+        # A's superior external route is hidden: A itself prefers the
+        # reflected route via B, so the network exits at B.
+        assert router_a.best(PFX).next_hop == "B"
+        reflector = engine.router("RR")
+        assert len(reflector.adj_rib_in.routes_for(PFX)) == 1
+
+    def test_best_external_fix(self):
+        engine, router_a, router_b = build(enable_best_external=True)
+        inject_external(engine, "B")
+        engine.run()
+        inject_external(engine, "A")
+        engine.run()
+        # With best external, A keeps advertising its external route even
+        # while preferring the reflected one, the reflector re-ranks, and
+        # the network converges to the geographically correct egress.
+        assert router_a.best(PFX).ebgp
+        assert router_a.best(PFX).learned_from == "ext-A"
+        assert router_b.best(PFX).next_hop == "A"
+
+    def test_good_order_converges_either_way(self):
+        engine, router_a, router_b = build(enable_best_external=False)
+        inject_external(engine, "A")  # the near egress first: no hiding
+        engine.run()
+        inject_external(engine, "B")
+        engine.run()
+        assert router_a.best(PFX).ebgp
+        assert router_b.best(PFX).next_hop == "A"
+
+    def test_geo_preference_values(self):
+        engine, router_a, router_b = build(enable_best_external=True)
+        inject_external(engine, "A")
+        inject_external(engine, "B")
+        engine.run()
+        reflected = router_b.best(PFX)
+        # The geo-assigned preference is "always much higher than the
+        # default value of 100".
+        assert reflected.local_pref > 1000

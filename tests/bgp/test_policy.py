@@ -1,0 +1,129 @@
+"""Unit tests for import/export policies."""
+
+import pytest
+
+from repro.bgp.attributes import NO_EXPORT, AsPath, Route
+from repro.bgp.policy import (
+    ChainPolicy,
+    DenyPrefixImport,
+    RelationshipExportPolicy,
+    RelationshipImportPolicy,
+    strip_ibgp_only_attributes,
+)
+from repro.bgp.session import Session, SessionType
+from repro.net.addressing import Prefix
+from repro.net.relationships import Relationship
+
+PFX = Prefix.parse("203.0.113.0/24")
+
+RELATIONSHIPS = {
+    100: Relationship.PROVIDER,
+    200: Relationship.PEER,
+    300: Relationship.CUSTOMER,
+}
+
+
+def ebgp_session(peer_asn: int) -> Session:
+    return Session(peer_id=f"x{peer_asn}", session_type=SessionType.EBGP, peer_asn=peer_asn)
+
+
+def ibgp_session() -> Session:
+    return Session(peer_id="rr", session_type=SessionType.IBGP, peer_asn=65000)
+
+
+def route(**kwargs) -> Route:
+    defaults = dict(prefix=PFX, as_path=AsPath((100, 9)), next_hop="nh")
+    defaults.update(kwargs)
+    return Route(**defaults)
+
+
+class TestRelationshipImport:
+    def test_provider_gets_low_pref(self):
+        policy = RelationshipImportPolicy(RELATIONSHIPS)
+        imported = policy.apply(route(), ebgp_session(100))
+        assert imported.local_pref == 100
+        assert "rel:provider" in imported.communities
+
+    def test_peer_and_customer_prefs(self):
+        policy = RelationshipImportPolicy(RELATIONSHIPS)
+        assert policy.apply(route(), ebgp_session(200)).local_pref == 200
+        assert policy.apply(route(), ebgp_session(300)).local_pref == 300
+
+    def test_unknown_neighbor_rejected(self):
+        policy = RelationshipImportPolicy(RELATIONSHIPS)
+        assert policy.apply(route(), ebgp_session(999)) is None
+
+    def test_ibgp_passthrough(self):
+        policy = RelationshipImportPolicy(RELATIONSHIPS)
+        original = route(local_pref=2345)
+        assert policy.apply(original, ibgp_session()) is original
+
+    def test_custom_pref_ladder(self):
+        policy = RelationshipImportPolicy(
+            RELATIONSHIPS, local_pref={r: 50 for r in Relationship}
+        )
+        assert policy.apply(route(), ebgp_session(300)).local_pref == 50
+
+
+class TestRelationshipExport:
+    def test_everything_to_customer(self):
+        policy = RelationshipExportPolicy(RELATIONSHIPS)
+        provider_route = route(communities=frozenset({"rel:provider"}))
+        assert policy.apply(provider_route, ebgp_session(300)) is not None
+
+    def test_provider_routes_not_to_peer(self):
+        policy = RelationshipExportPolicy(RELATIONSHIPS)
+        provider_route = route(communities=frozenset({"rel:provider"}))
+        assert policy.apply(provider_route, ebgp_session(200)) is None
+
+    def test_peer_routes_not_to_provider(self):
+        policy = RelationshipExportPolicy(RELATIONSHIPS)
+        peer_route = route(communities=frozenset({"rel:peer"}))
+        assert policy.apply(peer_route, ebgp_session(100)) is None
+
+    def test_customer_routes_to_everyone(self):
+        policy = RelationshipExportPolicy(RELATIONSHIPS)
+        customer_route = route(communities=frozenset({"rel:customer"}))
+        for asn in (100, 200, 300):
+            assert policy.apply(customer_route, ebgp_session(asn)) is not None
+
+    def test_originated_to_everyone(self):
+        policy = RelationshipExportPolicy(RELATIONSHIPS)
+        originated = route(as_path=AsPath())
+        for asn in (100, 200, 300):
+            assert policy.apply(originated, ebgp_session(asn)) is not None
+
+    def test_no_export_always_blocked(self):
+        policy = RelationshipExportPolicy(RELATIONSHIPS)
+        tagged = route(as_path=AsPath(), communities=frozenset({NO_EXPORT}))
+        assert policy.apply(tagged, ebgp_session(300)) is None
+
+    def test_unknown_peer_blocked(self):
+        policy = RelationshipExportPolicy(RELATIONSHIPS)
+        assert policy.apply(route(as_path=AsPath()), ebgp_session(999)) is None
+
+    def test_ibgp_passthrough(self):
+        policy = RelationshipExportPolicy(RELATIONSHIPS)
+        original = route(communities=frozenset({"rel:provider"}))
+        assert policy.apply(original, ibgp_session()) is original
+
+
+class TestHelpers:
+    def test_chain_policy_stops_on_reject(self):
+        policy = ChainPolicy(DenyPrefixImport({PFX}), RelationshipImportPolicy(RELATIONSHIPS))
+        assert policy.apply(route(), ebgp_session(100)) is None
+
+    def test_chain_policy_applies_in_order(self):
+        policy = ChainPolicy(RelationshipImportPolicy(RELATIONSHIPS))
+        assert policy.apply(route(), ebgp_session(200)).local_pref == 200
+
+    def test_strip_ibgp_only(self):
+        noisy = route(
+            local_pref=4242,
+            originator_id="rA",
+            cluster_list=("c1", "c2"),
+        )
+        cleaned = strip_ibgp_only_attributes(noisy)
+        assert cleaned.local_pref == 100
+        assert cleaned.originator_id is None
+        assert cleaned.cluster_list == ()

@@ -1,0 +1,118 @@
+"""Unit tests for AS-level valley-free route propagation."""
+
+import pytest
+
+from repro.bgp.propagation import (
+    AsLevelRouting,
+    RouteKind,
+    compute_routes_to_origin,
+)
+from repro.net.relationships import ASGraph, Relationship
+
+
+@pytest.fixture
+def diamond() -> ASGraph:
+    """Two Tier-1s (1, 2) peering; 3 buys from 1; 4 buys from 2; 5 buys
+    from both 3 and 4; 3 and 4 peer."""
+    g = ASGraph()
+    g.add_peering(1, 2)
+    g.add_provider_customer(1, 3)
+    g.add_provider_customer(2, 4)
+    g.add_provider_customer(3, 5)
+    g.add_provider_customer(4, 5)
+    g.add_peering(3, 4)
+    return g
+
+
+class TestComputation:
+    def test_origin_route(self, diamond):
+        routes = compute_routes_to_origin(diamond, 5)
+        assert routes[5].kind is RouteKind.ORIGIN
+        assert routes[5].path == ()
+
+    def test_customer_routes_climb(self, diamond):
+        routes = compute_routes_to_origin(diamond, 5)
+        assert routes[3].kind is RouteKind.CUSTOMER
+        assert routes[3].path == (5,)
+        assert routes[1].kind is RouteKind.CUSTOMER
+        assert routes[1].path == (3, 5)
+
+    def test_peer_route_single_hop(self, diamond):
+        routes = compute_routes_to_origin(diamond, 3)
+        # 4 peers with 3, so it learns (3,) as a peer route rather than a
+        # longer provider route.
+        assert routes[4].kind is RouteKind.PEER
+        assert routes[4].path == (3,)
+
+    def test_provider_routes_descend(self, diamond):
+        routes = compute_routes_to_origin(diamond, 3)
+        # 5 is 3's customer so it has a... provider route via 3 or 4;
+        # customer preference doesn't apply (3 is 5's provider).
+        assert routes[5].kind is RouteKind.PROVIDER
+        assert routes[5].path[0] in (3, 4)
+
+    def test_everyone_reaches_everyone(self, diamond):
+        for origin in diamond.asns():
+            routes = compute_routes_to_origin(diamond, origin)
+            assert set(routes) == set(diamond.asns())
+
+    def test_customer_preferred_over_peer(self):
+        g = ASGraph()
+        g.add_provider_customer(1, 3)  # 3 is 1's customer
+        g.add_peering(1, 2)
+        g.add_provider_customer(2, 3)
+        routes = compute_routes_to_origin(g, 3)
+        assert routes[1].kind is RouteKind.CUSTOMER
+        assert routes[2].kind is RouteKind.CUSTOMER
+
+    def test_valley_free_no_peer_then_up(self):
+        # 1-2 peer; 2 sells to 4; origin hangs off 1.  4 must reach the
+        # origin via its provider 2 (which peers with 1): path 2,1,origin.
+        g = ASGraph()
+        g.add_peering(1, 2)
+        g.add_provider_customer(1, 9)
+        g.add_provider_customer(2, 4)
+        routes = compute_routes_to_origin(g, 9)
+        assert routes[4].path == (2, 1, 9)
+        assert routes[4].kind is RouteKind.PROVIDER
+
+    def test_unknown_origin_raises(self, diamond):
+        with pytest.raises(KeyError):
+            compute_routes_to_origin(diamond, 999)
+
+
+class TestAsLevelRouting:
+    def test_path_includes_both_ends(self, diamond):
+        routing = AsLevelRouting(diamond)
+        assert routing.path(1, 5) == (1, 3, 5)
+        assert routing.path(5, 5) == (5,)
+
+    def test_caching_returns_same_table(self, diamond):
+        routing = AsLevelRouting(diamond)
+        assert routing.table_for_origin(5) is routing.table_for_origin(5)
+
+    def test_route_none_for_unknown_as(self, diamond):
+        routing = AsLevelRouting(diamond)
+        assert routing.route(999, 5) is None
+
+
+class TestExportToNeighbor:
+    def test_provider_exports_everything(self, diamond):
+        routing = AsLevelRouting(diamond)
+        # 1 sees some route to 4 (peer or provider kind); as OUR provider
+        # it would export it to us regardless of kind.
+        route = routing.exported_to_neighbor(1, Relationship.PROVIDER, 4)
+        assert route is not None
+
+    def test_peer_exports_customer_routes_only(self, diamond):
+        routing = AsLevelRouting(diamond)
+        # 3's route to 5 is a customer route -> exported to a peer.
+        assert routing.exported_to_neighbor(3, Relationship.PEER, 5) is not None
+        # 3's route to 4 is a peer route -> NOT exported to a peer.
+        assert routing.exported_to_neighbor(3, Relationship.PEER, 4) is None
+
+    def test_peer_exports_own_prefixes(self, diamond):
+        routing = AsLevelRouting(diamond)
+        own = routing.exported_to_neighbor(3, Relationship.PEER, 3)
+        assert own is not None
+        assert own.kind is RouteKind.ORIGIN

@@ -1,0 +1,79 @@
+"""Unit tests for the RIB structures."""
+
+from repro.bgp.attributes import AsPath, Route
+from repro.bgp.rib import AdjRib, LocRib
+from repro.net.addressing import Prefix
+
+P1 = Prefix.parse("203.0.113.0/24")
+P2 = Prefix.parse("198.51.100.0/24")
+
+
+def route(prefix=P1, peer="a") -> Route:
+    return Route(prefix=prefix, as_path=AsPath((1,)), next_hop=peer)
+
+
+class TestAdjRib:
+    def test_update_and_route(self):
+        rib = AdjRib()
+        rib.update("a", route())
+        assert rib.route("a", P1) is not None
+        assert rib.route("b", P1) is None
+
+    def test_routes_for_collects_all_peers(self):
+        rib = AdjRib()
+        rib.update("a", route(peer="a"))
+        rib.update("b", route(peer="b"))
+        rib.update("b", route(prefix=P2, peer="b"))
+        assert len(rib.routes_for(P1)) == 2
+        assert len(rib.routes_for(P2)) == 1
+
+    def test_withdraw(self):
+        rib = AdjRib()
+        rib.update("a", route())
+        removed = rib.withdraw("a", P1)
+        assert removed is not None
+        assert rib.withdraw("a", P1) is None
+        assert rib.routes_for(P1) == []
+
+    def test_prefixes_union(self):
+        rib = AdjRib()
+        rib.update("a", route())
+        rib.update("b", route(prefix=P2))
+        assert rib.prefixes() == {P1, P2}
+
+    def test_drop_peer(self):
+        rib = AdjRib()
+        rib.update("a", route())
+        rib.update("a", route(prefix=P2))
+        dropped = rib.drop_peer("a")
+        assert set(dropped) == {P1, P2}
+        assert len(rib) == 0
+
+    def test_len_counts_routes(self):
+        rib = AdjRib()
+        rib.update("a", route())
+        rib.update("b", route())
+        assert len(rib) == 2
+
+
+class TestLocRib:
+    def test_set_and_get(self):
+        rib = LocRib()
+        rib.set_best(route())
+        assert rib.best(P1) is not None
+        assert P1 in rib
+        assert len(rib) == 1
+
+    def test_clear(self):
+        rib = LocRib()
+        rib.set_best(route())
+        assert rib.clear(P1) is not None
+        assert rib.clear(P1) is None
+        assert P1 not in rib
+
+    def test_items_and_prefixes(self):
+        rib = LocRib()
+        rib.set_best(route())
+        rib.set_best(route(prefix=P2))
+        assert set(rib.prefixes()) == {P1, P2}
+        assert len(list(rib.items())) == 2

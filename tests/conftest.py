@@ -1,0 +1,48 @@
+"""Shared fixtures: deterministic RNGs and session-scoped worlds.
+
+Building a world (synthetic Internet + converged VNS) takes a few seconds,
+so the expensive fixtures are session-scoped and shared; tests must not
+mutate them.  Tests that need mutation build their own tiny worlds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import World, build_world
+from repro.net.topology import InternetTopology, TopologyConfig, generate_topology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_topology() -> InternetTopology:
+    """A very small Internet for unit tests (shared, do not mutate)."""
+    return generate_topology(
+        TopologyConfig(n_ltp=3, n_stp=8, n_cahp=10, n_ec=12),
+        np.random.default_rng(7),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_world() -> World:
+    """A small world with geo routing on and exact GeoIP (shared)."""
+    return build_world("small", seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_world_with_errors() -> World:
+    """A small world with the paper's GeoIP error models injected."""
+    return build_world("small", seed=42, geoip_errors=True)
+
+
+@pytest.fixture(scope="session")
+def small_world_pair(small_world: World) -> World:
+    """The small world with its hot-potato "before" deployment built."""
+    small_world.require_before()
+    return small_world

@@ -1,0 +1,70 @@
+"""Unit tests for diurnal congestion profiles."""
+
+import pytest
+
+from repro.dataplane.diurnal import DiurnalProfile, access_profile, transit_profile
+from repro.geo.regions import WorldRegion
+from repro.net.asn import ASType
+
+
+class TestDiurnalProfile:
+    def test_floor_respected(self):
+        profile = DiurnalProfile(amplitude=1.0)
+        for hour in range(24):
+            assert profile.factor(hour) >= profile.floor
+
+    def test_peak_near_business_hours(self):
+        profile = DiurnalProfile(amplitude=1.0, business_weight=1.0, evening_weight=0.0)
+        peak_hour = max(range(24), key=profile.factor)
+        assert 12 <= peak_hour <= 16
+
+    def test_evening_peak(self):
+        profile = DiurnalProfile(amplitude=1.0, business_weight=0.0, evening_weight=1.0)
+        peak_hour = max(range(24), key=profile.factor)
+        assert 19 <= peak_hour <= 22
+
+    def test_wraparound_continuity(self):
+        profile = DiurnalProfile(amplitude=1.0)
+        assert profile.factor(23.999) == pytest.approx(profile.factor(0.0), rel=1e-2)
+
+    def test_amplitude_scales_swing(self):
+        weak = DiurnalProfile(amplitude=0.2)
+        strong = DiurnalProfile(amplitude=2.0)
+        swing_weak = max(weak.factor(h) for h in range(24)) - weak.floor
+        swing_strong = max(strong.factor(h) for h in range(24)) - strong.floor
+        assert swing_strong > 5 * swing_weak
+
+    def test_factor_cet_converts_timezone(self):
+        profile = DiurnalProfile(amplitude=1.0, business_weight=1.0, evening_weight=0.0)
+        # 14:00 local in AP is 07:00 CET; the CET-based lookup at 07:00
+        # must equal the local lookup at 14:00.
+        assert profile.factor_cet(7.0, WorldRegion.ASIA_PACIFIC) == pytest.approx(
+            profile.factor(14.0)
+        )
+
+
+class TestProfileFactories:
+    def test_cahp_is_evening_heavy(self):
+        profile = access_profile(WorldRegion.EUROPE, ASType.CAHP)
+        assert profile.evening_weight > profile.business_weight
+
+    def test_ec_is_business_heavy(self):
+        profile = access_profile(WorldRegion.EUROPE, ASType.EC)
+        assert profile.business_weight > profile.evening_weight
+
+    def test_ap_ltp_evening_peak(self):
+        # Sec. 5.2.3: AP LTP loss peaks in local evening (home users
+        # pulling remote content through transit).
+        profile = access_profile(WorldRegion.ASIA_PACIFIC, ASType.LTP)
+        assert profile.evening_weight > profile.business_weight
+
+    def test_ap_amplitude_strongest(self):
+        ap = access_profile(WorldRegion.ASIA_PACIFIC, ASType.CAHP)
+        na = access_profile(WorldRegion.NORTH_CENTRAL_AMERICA, ASType.CAHP)
+        assert ap.amplitude > na.amplitude
+
+    def test_transit_profile_positive(self):
+        for region in WorldRegion:
+            profile = transit_profile(region)
+            for hour in (0, 6, 12, 18):
+                assert profile.factor(hour) > 0

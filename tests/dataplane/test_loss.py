@@ -1,0 +1,109 @@
+"""Unit tests for the loss models."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    congestion_loss_probability,
+)
+
+
+class TestBernoulli:
+    def test_zero_and_one(self, rng):
+        assert BernoulliLoss(0.0).loss_count(1000, rng) == 0
+        assert BernoulliLoss(1.0).loss_count(1000, rng) == 1000
+
+    def test_mean_matches(self, rng):
+        model = BernoulliLoss(0.05)
+        losses = model.loss_count(200_000, rng)
+        assert losses / 200_000 == pytest.approx(0.05, rel=0.1)
+
+    def test_sample_shape(self, rng):
+        sample = BernoulliLoss(0.5).sample(100, rng)
+        assert sample.shape == (100,)
+        assert sample.dtype == bool
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+    def test_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            BernoulliLoss(0.1).loss_count(-1, rng)
+
+
+class TestGilbertElliott:
+    def test_stationary_bad(self):
+        model = GilbertElliottLoss(p_gb=0.01, p_bg=0.09)
+        assert model.stationary_bad() == pytest.approx(0.1)
+
+    def test_mean_loss_analytic(self):
+        model = GilbertElliottLoss(p_gb=0.01, p_bg=0.09, loss_good=0.0, loss_bad=0.5)
+        assert model.mean_loss() == pytest.approx(0.05)
+
+    def test_mean_loss_empirical(self, rng):
+        model = GilbertElliottLoss(p_gb=0.02, p_bg=0.2, loss_good=0.001, loss_bad=0.4)
+        sample = model.sample(100_000, rng)
+        assert sample.mean() == pytest.approx(model.mean_loss(), rel=0.2)
+
+    def test_burstiness(self, rng):
+        """GE loss at the same mean must be burstier than Bernoulli."""
+        ge = GilbertElliottLoss(p_gb=0.005, p_bg=0.05, loss_good=0.0, loss_bad=0.5)
+        bern = BernoulliLoss(ge.mean_loss())
+        n = 50_000
+        ge_sample = ge.sample(n, rng)
+        bern_sample = bern.sample(n, rng)
+
+        def run_lengths(mask: np.ndarray) -> list[int]:
+            lengths, current = [], 0
+            for lost in mask:
+                if lost:
+                    current += 1
+                elif current:
+                    lengths.append(current)
+                    current = 0
+            if current:
+                lengths.append(current)
+            return lengths
+
+        ge_runs = run_lengths(ge_sample)
+        bern_runs = run_lengths(bern_sample)
+        assert np.mean(ge_runs) > np.mean(bern_runs)
+
+    def test_expected_burst_length(self):
+        model = GilbertElliottLoss(p_gb=0.01, p_bg=0.1)
+        assert model.expected_burst_length() == pytest.approx(10.0)
+        stuck = GilbertElliottLoss(p_gb=0.01, p_bg=0.0)
+        assert stuck.expected_burst_length() == float("inf")
+
+    def test_degenerate_chain(self):
+        model = GilbertElliottLoss(p_gb=0.0, p_bg=0.0)
+        assert model.stationary_bad() == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_gb=-0.1, p_bg=0.5)
+
+    def test_zero_packets(self, rng):
+        model = GilbertElliottLoss(p_gb=0.1, p_bg=0.1)
+        assert model.sample(0, rng).shape == (0,)
+
+
+class TestCongestionLoss:
+    def test_no_loss_below_knee(self):
+        assert congestion_loss_probability(0.5) == 0.0
+        assert congestion_loss_probability(0.82) == 0.0
+
+    def test_rises_above_knee(self):
+        low = congestion_loss_probability(0.85)
+        high = congestion_loss_probability(0.99)
+        assert 0.0 < low < high <= 1.0
+
+    def test_saturates_at_one(self):
+        assert congestion_loss_probability(10.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            congestion_loss_probability(-0.1)

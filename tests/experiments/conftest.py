@@ -1,0 +1,29 @@
+"""Shared experiment-campaign fixtures (expensive; session-scoped)."""
+
+import pytest
+
+from repro.experiments.lastmile import LastMileData, run_lastmile_campaign
+from repro.experiments.video import VideoCampaignResult, run_video_campaign
+from repro.media.codec import PROFILE_1080P, PROFILE_720P
+
+
+@pytest.fixture(scope="session")
+def video_campaign(small_world) -> VideoCampaignResult:
+    """A scaled-down Sec. 5.1 campaign (both profiles)."""
+    return run_video_campaign(
+        small_world,
+        days=2,
+        minutes_between_rounds=60.0,
+        profiles=(PROFILE_1080P, PROFILE_720P),
+    )
+
+
+@pytest.fixture(scope="session")
+def lastmile_data(small_world) -> LastMileData:
+    """A scaled-down Sec. 5.2 campaign."""
+    return run_lastmile_campaign(
+        small_world,
+        hosts_per_type_per_region=6,
+        days=2,
+        minutes_between_rounds=60.0,
+    )

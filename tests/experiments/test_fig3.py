@@ -1,0 +1,99 @@
+"""Shape tests for the Fig. 3 experiment (geo-routing precision)."""
+
+import pytest
+
+from repro.experiments import fig3_precision
+from repro.geo.regions import PopRegion
+
+
+@pytest.fixture(scope="module")
+def clean_result(small_world):
+    return fig3_precision.run(small_world)
+
+
+@pytest.fixture(scope="module")
+def error_result(small_world_with_errors):
+    return fig3_precision.run(small_world_with_errors)
+
+
+class TestPrecisionShape:
+    def test_most_prefixes_measured(self, small_world, clean_result):
+        assert len(clean_result.records) > 0.8 * len(small_world.topology.prefixes())
+
+    def test_overall_within_20ms(self, clean_result):
+        # Paper: "Across all regions, 90% of prefixes are not displaced by
+        # more than 20ms"; the small synthetic world is allowed slack.
+        assert clean_result.fraction_within(20.0) > 0.75
+
+    def test_diffs_nonnegative_mostly(self, clean_result):
+        # geo RTT can beat the "best" only through measurement noise.
+        diffs = clean_result.diffs()
+        assert sum(1 for d in diffs if d < -1.0) == 0
+
+    def test_clean_world_outliers_rare(self, small_world, clean_result):
+        """With an exact database, badly displaced prefixes are rare and
+        all of the paper's case-one kind: destinations in regions with no
+        nearby PoP, where geography diverges from data-plane proximity."""
+        outliers = clean_result.outliers(min_excess_ms=80.0)
+        assert len(outliers) <= 0.07 * len(clean_result.records)
+        from repro.geo.cities import region_of_point
+        from repro.geo.regions import WorldRegion
+
+        pop_covered = {
+            WorldRegion.EUROPE,
+            WorldRegion.NORTH_CENTRAL_AMERICA,
+            WorldRegion.ASIA_PACIFIC,
+            WorldRegion.OCEANIA,
+        }
+        for record in outliers:
+            location = small_world.topology.prefix_location[record.prefix]
+            region = region_of_point(location)
+            # Africa / Middle East / South America destinations — or
+            # prefixes hit by the London trans-Atlantic wart.
+            assert region not in pop_covered or record.geo_pop == "LON"
+
+    def test_scatter_pairs(self, clean_result):
+        scatter = clean_result.scatter()
+        assert len(scatter) == len(clean_result.records)
+        for best, geo in scatter:
+            assert geo >= best - 1.0
+
+
+class TestErrorInjection:
+    def test_errors_create_outliers(self, error_result):
+        # The RU (Siberia-centroid) and IN (Canada WHOIS) clusters must
+        # displace prefixes badly.
+        assert len(error_result.outliers(min_excess_ms=80.0)) >= 3
+
+    def test_errors_reduce_precision(self, clean_result, error_result):
+        assert error_result.fraction_within(10.0) <= clean_result.fraction_within(10.0)
+
+    def test_error_world_has_more_outliers(self, clean_result, error_result):
+        assert len(error_result.outliers(80.0)) > len(clean_result.outliers(80.0))
+
+    def test_geo_error_clusters_present(self, small_world_with_errors, error_result):
+        """At least a handful of outliers trace back to big database
+        errors (the Russian/Indian clusters)."""
+        geoip = small_world_with_errors.service.geoip
+        traced = 0
+        for record in error_result.outliers(min_excess_ms=80.0):
+            entry = geoip.lookup(record.prefix)
+            if entry is not None and entry.error_km > 500:
+                traced += 1
+        assert traced >= 3
+
+
+class TestCongruence:
+    def test_as_congruence_statistic(self, small_world, clean_result):
+        congruence = fig3_precision.as_congruence(small_world, clean_result)
+        assert congruence.per_as_agreement
+        # Paper: >=25% of prefixes agree in 99% of ASes; >=90% in 60%.
+        assert congruence.fraction_of_ases_with_agreement(0.25) > 0.9
+        assert congruence.fraction_of_ases_with_agreement(0.9) > 0.4
+
+
+class TestRender:
+    def test_render_contains_regions(self, clean_result):
+        text = fig3_precision.render(clean_result)
+        for token in ("EU", "NA", "AP", "All", "outliers"):
+            assert token in text

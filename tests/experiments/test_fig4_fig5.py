@@ -1,0 +1,70 @@
+"""Shape tests for Fig. 4 (egress selection) and Fig. 5 (neighbours)."""
+
+import pytest
+
+from repro.experiments import fig4_egress, fig5_neighbors
+
+
+@pytest.fixture(scope="module")
+def fig4(small_world_pair):
+    return fig4_egress.run(small_world_pair)
+
+
+@pytest.fixture(scope="module")
+def fig5(small_world_pair):
+    return fig5_neighbors.run(small_world_pair)
+
+
+class TestFig4:
+    def test_hot_potato_exits_locally(self, fig4):
+        # Paper: "PoP 10 exited traffic locally in 70% of the cases".
+        assert fig4.local_exit_pct("before") > 50.0
+
+    def test_geo_routing_spreads_egresses(self, fig4):
+        # Paper: "After ... the distribution is more even."
+        assert fig4.local_exit_pct("after") < 25.0
+        assert fig4.max_share_pct("after") < fig4.max_share_pct("before")
+        assert fig4.max_share_pct("after") < 40.0
+
+    def test_percentages_sum_to_100(self, fig4):
+        assert sum(fig4.before_pct.values()) == pytest.approx(100.0)
+        assert sum(fig4.after_pct.values()) == pytest.approx(100.0)
+
+    def test_after_uses_many_pops(self, fig4):
+        assert len([v for v in fig4.after_pct.values() if v > 1.0]) >= 8
+
+    def test_invalid_when(self, fig4):
+        with pytest.raises(ValueError):
+            fig4.local_exit_pct("sometimes")
+
+    def test_render(self, fig4):
+        text = fig4_egress.render(fig4)
+        assert "LON" in text and "before" in text
+
+
+class TestFig5:
+    def test_transit_share_stable_around_80(self, fig5):
+        # Paper: "the percentage of destination prefixes reached through
+        # upstreams has remained stable at around 80%".
+        assert 55.0 < fig5.transit_share_before_pct < 95.0
+        assert 60.0 < fig5.transit_share_after_pct < 95.0
+        assert abs(fig5.transit_share_after_pct - fig5.transit_share_before_pct) < 30.0
+
+    def test_upstreams_listed_first(self, fig5):
+        kinds = [row.is_upstream for row in fig5.neighbors]
+        n_up = sum(kinds)
+        assert all(kinds[:n_up])
+        assert not any(kinds[n_up:])
+
+    def test_peers_present(self, fig5):
+        assert fig5.peer_rows()
+
+    def test_top_upstream_dominates_after(self, fig5):
+        shift = fig5.top_upstream_shift()
+        assert shift is not None
+        first, second = shift
+        assert first.after_pct >= second.after_pct
+
+    def test_render(self, fig5):
+        text = fig5_neighbors.render(fig5)
+        assert "transit share" in text

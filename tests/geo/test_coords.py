@@ -1,0 +1,128 @@
+"""Unit tests for spherical geodesy."""
+
+import math
+
+import pytest
+
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    destination_point,
+    great_circle_km,
+    initial_bearing_deg,
+    midpoint,
+)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        point = GeoPoint(52.37, 4.90)
+        assert point.lat == 52.37
+        assert point.lon == 4.90
+
+    @pytest.mark.parametrize("lat", [-90.0, 0.0, 90.0])
+    def test_boundary_latitudes(self, lat):
+        GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lat", [-90.01, 91.0, 180.0])
+    def test_invalid_latitude(self, lat):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-180.01, 181.0, 360.0])
+    def test_invalid_longitude(self, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, lon)
+
+    def test_str_hemispheres(self):
+        assert str(GeoPoint(10.0, -20.0)) == "10.0000N,20.0000W"
+        assert str(GeoPoint(-10.0, 20.0)) == "10.0000S,20.0000E"
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        point = GeoPoint(10.0, 20.0)
+        assert great_circle_km(point, point) == 0.0
+
+    def test_symmetry(self):
+        a = GeoPoint(52.37, 4.90)
+        b = GeoPoint(1.35, 103.82)
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_known_distance_amsterdam_singapore(self):
+        a = GeoPoint(52.37, 4.90)
+        b = GeoPoint(1.35, 103.82)
+        # Published distance is ~10,500 km.
+        assert great_circle_km(a, b) == pytest.approx(10_500, rel=0.02)
+
+    def test_quarter_circumference(self):
+        equator = GeoPoint(0.0, 0.0)
+        pole = GeoPoint(90.0, 0.0)
+        expected = math.pi * EARTH_RADIUS_KM / 2
+        assert great_circle_km(equator, pole) == pytest.approx(expected)
+
+    def test_antipodal_is_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        expected = math.pi * EARTH_RADIUS_KM
+        assert great_circle_km(a, b) == pytest.approx(expected)
+
+    def test_dateline_wrap(self):
+        west = GeoPoint(0.0, 179.5)
+        east = GeoPoint(0.0, -179.5)
+        assert great_circle_km(west, east) < 120.0
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert initial_bearing_deg(GeoPoint(0, 0), GeoPoint(10, 0)) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        assert initial_bearing_deg(GeoPoint(0, 0), GeoPoint(0, 10)) == pytest.approx(90.0)
+
+    def test_due_south(self):
+        assert initial_bearing_deg(GeoPoint(10, 0), GeoPoint(0, 0)) == pytest.approx(180.0)
+
+    def test_range(self):
+        bearing = initial_bearing_deg(GeoPoint(10, 10), GeoPoint(-20, -30))
+        assert 0.0 <= bearing < 360.0
+
+
+class TestDestinationPoint:
+    def test_zero_distance_is_identity(self):
+        origin = GeoPoint(45.0, 45.0)
+        result = destination_point(origin, 123.0, 0.0)
+        assert result.lat == pytest.approx(origin.lat)
+        assert result.lon == pytest.approx(origin.lon)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            destination_point(GeoPoint(0, 0), 0.0, -1.0)
+
+    def test_round_trip_distance(self):
+        origin = GeoPoint(52.37, 4.90)
+        out = destination_point(origin, 70.0, 500.0)
+        assert great_circle_km(origin, out) == pytest.approx(500.0, rel=1e-6)
+
+    def test_longitude_normalised(self):
+        # Travelling east across the dateline must stay in [-180, 180].
+        origin = GeoPoint(0.0, 179.0)
+        out = destination_point(origin, 90.0, 300.0)
+        assert -180.0 <= out.lon <= 180.0
+
+
+class TestMidpoint:
+    def test_midpoint_equidistant(self):
+        a = GeoPoint(52.37, 4.90)
+        b = GeoPoint(40.71, -74.01)
+        mid = midpoint(a, b)
+        assert great_circle_km(a, mid) == pytest.approx(
+            great_circle_km(b, mid), rel=1e-6
+        )
+
+    def test_midpoint_on_path(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 90.0)
+        mid = midpoint(a, b)
+        assert mid.lat == pytest.approx(0.0, abs=1e-9)
+        assert mid.lon == pytest.approx(45.0)

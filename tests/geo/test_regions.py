@@ -1,0 +1,60 @@
+"""Unit tests for the region taxonomy and time conversions."""
+
+import pytest
+
+from repro.geo.regions import (
+    POP_REGION_FOR_WORLD_REGION,
+    REGION_UTC_OFFSET_HOURS,
+    PopRegion,
+    WorldRegion,
+    cet_to_local_hour,
+    local_hour_to_cet,
+)
+
+
+class TestTaxonomy:
+    def test_seven_world_regions(self):
+        assert len(WorldRegion) == 7
+
+    def test_four_pop_regions(self):
+        assert len(PopRegion) == 4
+
+    def test_every_world_region_has_a_pop_region(self):
+        for region in WorldRegion:
+            assert region in POP_REGION_FOR_WORLD_REGION
+
+    def test_every_world_region_has_utc_offset(self):
+        for region in WorldRegion:
+            assert region in REGION_UTC_OFFSET_HOURS
+
+    def test_geographic_sanity(self):
+        assert POP_REGION_FOR_WORLD_REGION[WorldRegion.EUROPE] is PopRegion.EU
+        assert POP_REGION_FOR_WORLD_REGION[WorldRegion.OCEANIA] is PopRegion.OC
+        assert (
+            POP_REGION_FOR_WORLD_REGION[WorldRegion.NORTH_CENTRAL_AMERICA]
+            is PopRegion.NA
+        )
+        assert POP_REGION_FOR_WORLD_REGION[WorldRegion.ASIA_PACIFIC] is PopRegion.AP
+
+
+class TestTimeConversion:
+    def test_europe_is_cet(self):
+        # EU offset is +1, same as CET: identity conversion.
+        assert local_hour_to_cet(14.0, WorldRegion.EUROPE) == pytest.approx(14.0)
+
+    def test_round_trip(self):
+        for region in WorldRegion:
+            for hour in (0.0, 7.5, 14.0, 23.0):
+                there = cet_to_local_hour(hour, region)
+                back = local_hour_to_cet(there, region)
+                assert back == pytest.approx(hour % 24.0)
+
+    def test_ap_business_hours_map_to_cet_night(self):
+        # 9am in AP (UTC+8) is 2am CET — the paper's Fig. 12 observation
+        # that AP loss "climbs up as the day starts in AP and drops as it
+        # ends around 3PM CET".
+        assert local_hour_to_cet(9.0, WorldRegion.ASIA_PACIFIC) == pytest.approx(2.0)
+        assert local_hour_to_cet(22.0, WorldRegion.ASIA_PACIFIC) == pytest.approx(15.0)
+
+    def test_wraparound(self):
+        assert cet_to_local_hour(23.0, WorldRegion.ASIA_PACIFIC) == pytest.approx(6.0)

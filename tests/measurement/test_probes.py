@@ -1,0 +1,63 @@
+"""Tests for the last-mile loss probe campaign."""
+
+import numpy as np
+import pytest
+
+from repro.geo.regions import WorldRegion
+from repro.measurement.probes import LossProbeCampaign, select_hosts
+from repro.measurement.scheduler import Round
+from repro.net.asn import ASType
+
+
+class TestSelectHosts:
+    def test_buckets_filled(self, small_world):
+        rng = np.random.default_rng(0)
+        hosts = select_hosts(small_world.service, rng, per_type_per_region=4)
+        buckets = {}
+        for host in hosts:
+            buckets.setdefault((host.region, host.as_type), []).append(host)
+        # All 3 regions x 4 types present (the generator guarantees
+        # coverage).
+        assert len(buckets) == 12
+        for bucket in buckets.values():
+            assert len(bucket) == 4
+
+    def test_prefix_diversity(self, small_world):
+        rng = np.random.default_rng(0)
+        hosts = select_hosts(small_world.service, rng, per_type_per_region=4)
+        # Hosts should span several distinct prefixes.
+        assert len({h.prefix for h in hosts}) > len(hosts) // 2
+
+
+class TestCampaign:
+    def test_probe_observation(self, small_world):
+        rng = np.random.default_rng(0)
+        campaign = LossProbeCampaign(small_world.service, rng)
+        hosts = select_hosts(small_world.service, rng, per_type_per_region=1)
+        obs = campaign.probe("AMS", hosts[0], Round(day=0, hour_cet=12.0))
+        assert obs is not None
+        assert obs.sent == 100
+        assert 0 <= obs.lost <= 100
+        assert obs.loss_percent == pytest.approx(obs.lost)
+
+    def test_run_counts(self, small_world):
+        rng = np.random.default_rng(0)
+        campaign = LossProbeCampaign(small_world.service, rng)
+        hosts = select_hosts(small_world.service, rng, per_type_per_region=1)[:4]
+        rounds = [Round(day=0, hour_cet=float(h)) for h in (0, 6, 12, 18)]
+        observations = campaign.run(["AMS", "SJS"], hosts, rounds)
+        assert len(observations) == 2 * 4 * 4
+
+    def test_path_cache_reused(self, small_world):
+        rng = np.random.default_rng(0)
+        campaign = LossProbeCampaign(small_world.service, rng)
+        hosts = select_hosts(small_world.service, rng, per_type_per_region=1)[:1]
+        campaign.probe("AMS", hosts[0], Round(day=0, hour_cet=0.0))
+        campaign.probe("AMS", hosts[0], Round(day=0, hour_cet=1.0))
+        assert len(campaign._path_cache) == 1
+
+    def test_invalid_packets(self, small_world):
+        with pytest.raises(ValueError):
+            LossProbeCampaign(
+                small_world.service, np.random.default_rng(0), packets_per_round=0
+            )

@@ -1,0 +1,46 @@
+"""Unit tests for measurement schedules."""
+
+import pytest
+
+from repro.measurement.scheduler import (
+    Round,
+    half_hourly_rounds,
+    hourly_rounds,
+    rounds_every,
+)
+
+
+class TestRounds:
+    def test_half_hourly_counts(self):
+        rounds = half_hourly_rounds(days=2)
+        assert len(rounds) == 2 * 48
+
+    def test_hourly_counts(self):
+        assert len(hourly_rounds(days=1)) == 24
+
+    def test_hours_wrap(self):
+        rounds = rounds_every(90.0, days=1)
+        assert all(0.0 <= r.hour_cet < 24.0 for r in rounds)
+
+    def test_absolute_hours_monotone_within_day(self):
+        rounds = rounds_every(60.0, days=2)
+        absolute = [r.absolute_hours for r in rounds]
+        assert absolute == sorted(absolute)
+
+    def test_start_offset(self):
+        rounds = rounds_every(60.0, days=1, start_hour=6.0)
+        assert rounds[0].hour_cet == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounds_every(0.0, days=1)
+        with pytest.raises(ValueError):
+            rounds_every(10.0, days=-1)
+
+    def test_every_ten_minutes_is_paper_rate(self):
+        # Sec. 5.2: every 10 minutes => 144 rounds/day.
+        assert len(rounds_every(10.0, days=1)) == 144
+
+    def test_round_dataclass(self):
+        r = Round(day=2, hour_cet=3.0)
+        assert r.absolute_hours == 51.0

@@ -1,0 +1,113 @@
+"""Unit tests for measurement statistics."""
+
+import pytest
+
+from repro.measurement.stats import (
+    Ccdf,
+    Cdf,
+    OnlineStats,
+    fraction_at_most,
+    fraction_exceeding,
+    percentile,
+)
+
+
+class TestCdf:
+    def test_basic(self):
+        cdf = Cdf.of([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(10.0) == 1.0
+
+    def test_quantile(self):
+        cdf = Cdf.of(range(1, 101))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(1.0) == 100
+
+    def test_quantile_validation(self):
+        cdf = Cdf.of([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf.of([])
+
+    def test_series_monotone(self):
+        cdf = Cdf.of([3.0, 1.0, 2.0])
+        series = cdf.series()
+        xs = [x for x, _ in series]
+        ps = [p for _, p in series]
+        assert xs == sorted(xs)
+        assert ps == sorted(ps)
+        assert ps[-1] == pytest.approx(1.0)
+
+    def test_len(self):
+        assert len(Cdf.of([1, 2, 3])) == 3
+
+
+class TestCcdf:
+    def test_complementarity(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        cdf = Cdf.of(values)
+        ccdf = Ccdf.of(values)
+        for x in (0.5, 1.5, 2.5, 3.5, 4.5):
+            assert ccdf.at(x) == pytest.approx(1.0 - cdf.at(x))
+
+    def test_at_threshold(self):
+        ccdf = Ccdf.of([0.1, 0.2, 0.3, 0.4])
+        assert ccdf.at(0.15) == pytest.approx(0.75)
+
+
+class TestFractions:
+    def test_fraction_exceeding(self):
+        values = [0.0, 0.1, 0.2, 0.3]
+        assert fraction_exceeding(values, 0.15) == 0.5
+        assert fraction_exceeding(values, 0.3) == 0.0
+        assert fraction_exceeding([], 1.0) == 0.0
+
+    def test_fraction_at_most(self):
+        values = [0.0, 0.1, 0.2, 0.3]
+        assert fraction_at_most(values, 0.1) == 0.5
+        assert fraction_at_most([], 1.0) == 0.0
+
+    def test_complementary(self):
+        values = [1.0, 2.0, 5.0, 7.0]
+        for t in (0.0, 2.0, 6.0, 9.0):
+            assert fraction_at_most(values, t) + fraction_exceeding(values, t) == 1.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestOnlineStats:
+    def test_moments(self):
+        stats = OnlineStats()
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats.extend(data)
+        assert stats.count == 8
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.138, rel=0.01)
+        assert stats.min == 2.0
+        assert stats.max == 9.0
+
+    def test_empty(self):
+        stats = OnlineStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_single_sample(self):
+        stats = OnlineStats()
+        stats.add(3.0)
+        assert stats.mean == 3.0
+        assert stats.variance == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for the instrumented measurement client."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.link import PathSegment, SegmentKind
+from repro.dataplane.path import DataPath
+from repro.geo.cities import city_by_name
+from repro.media.client import InstrumentedClient, reverse_path
+from repro.media.codec import PROFILE_1080P
+from repro.media.sip import EchoServer
+
+AMS = city_by_name("Amsterdam").location
+SIN = city_by_name("Singapore").location
+
+
+def transit_path() -> DataPath:
+    return DataPath(
+        segments=[
+            PathSegment(kind=SegmentKind.PEERING, start=AMS, end=AMS, label="in"),
+            PathSegment(kind=SegmentKind.TRANSIT, start=AMS, end=SIN, label="haul"),
+        ],
+        description="fwd",
+    )
+
+
+class TestReversePath:
+    def test_segments_reversed(self):
+        fwd = transit_path()
+        rev = reverse_path(fwd)
+        assert len(rev) == len(fwd)
+        assert rev.segments[0].start == fwd.segments[-1].end
+        assert rev.segments[-1].end == fwd.segments[0].start
+
+    def test_delay_symmetric(self):
+        fwd = transit_path()
+        assert reverse_path(fwd).one_way_delay_ms() == pytest.approx(
+            fwd.one_way_delay_ms()
+        )
+
+
+class TestInstrumentedClient:
+    def test_session_measurement(self):
+        client = InstrumentedClient("ams", rng=np.random.default_rng(3))
+        server = EchoServer("sip:echo-sin@vns", "SIN")
+        measurement = client.run_session(server, transit_path(), PROFILE_1080P)
+        assert measurement is not None
+        assert measurement.call_established
+        assert measurement.outbound.n_slots == 24
+        assert measurement.inbound.n_slots == 24
+        assert measurement.rtt_ms == pytest.approx(transit_path().rtt_ms())
+        assert measurement.loss_percent_out >= 0.0
+        assert measurement.jitter_p95_ms >= max(
+            measurement.outbound.jitter_p95_ms, measurement.inbound.jitter_p95_ms
+        ) - 1e-9
+
+    def test_custom_duration(self):
+        client = InstrumentedClient("ams", rng=np.random.default_rng(3))
+        server = EchoServer("sip:echo-sin@vns", "SIN")
+        measurement = client.run_session(
+            server, transit_path(), PROFILE_1080P, duration_s=30.0
+        )
+        assert measurement.outbound.n_slots == 6
+
+    def test_lossy_slots_accessor(self):
+        client = InstrumentedClient("ams", rng=np.random.default_rng(3))
+        server = EchoServer("sip:echo-sin@vns", "SIN")
+        measurement = client.run_session(server, transit_path(), PROFILE_1080P)
+        assert measurement.lossy_slots_out == measurement.outbound.lossy_slots

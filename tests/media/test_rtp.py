@@ -1,0 +1,68 @@
+"""Unit tests for RTP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.media.codec import PROFILE_1080P
+from repro.media.rtp import RtpSession, RtpStreamSpec, new_ssrc
+
+
+@pytest.fixture
+def spec() -> RtpStreamSpec:
+    return RtpStreamSpec(ssrc=42, profile=PROFILE_1080P)
+
+
+class TestSpec:
+    def test_paper_slot_structure(self, spec):
+        # Two minutes split into 24 five-second slots (Sec. 5.1.2).
+        assert spec.n_slots == 24
+        assert spec.packets_per_slot == PROFILE_1080P.packets_in(5.0)
+        assert spec.total_packets == 24 * spec.packets_per_slot
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            RtpStreamSpec(ssrc=1, profile=PROFILE_1080P, duration_s=0)
+        with pytest.raises(ValueError):
+            RtpStreamSpec(ssrc=1, profile=PROFILE_1080P, slot_s=0)
+
+
+class TestSession:
+    def test_accounting(self, spec):
+        session = RtpSession(spec=spec)
+        per_slot = spec.packets_per_slot
+        session.record_slot(per_slot)  # clean slot
+        session.record_slot(per_slot - 10)  # lossy slot
+        assert session.expected == 2 * per_slot
+        assert session.lost == 10
+        assert session.slot_losses().tolist() == [0, 10]
+        assert not session.complete
+
+    def test_loss_percent(self, spec):
+        session = RtpSession(spec=spec)
+        session.record_slot(spec.packets_per_slot // 2)
+        assert session.loss_percent == pytest.approx(50.0, abs=0.1)
+
+    def test_complete_after_all_slots(self, spec):
+        session = RtpSession(spec=spec)
+        for _ in range(spec.n_slots):
+            session.record_slot(spec.packets_per_slot)
+        assert session.complete
+        with pytest.raises(ValueError):
+            session.record_slot(spec.packets_per_slot)
+
+    def test_invalid_received_count(self, spec):
+        session = RtpSession(spec=spec)
+        with pytest.raises(ValueError):
+            session.record_slot(-1)
+        with pytest.raises(ValueError):
+            session.record_slot(spec.packets_per_slot + 1)
+
+    def test_empty_session_loss(self, spec):
+        assert RtpSession(spec=spec).loss_percent == 0.0
+
+
+class TestSsrc:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert 0 <= new_ssrc(rng) < 2**32

@@ -1,0 +1,104 @@
+"""Unit tests for the SIP layer."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.link import PathSegment, SegmentKind
+from repro.dataplane.path import DataPath
+from repro.geo.cities import city_by_name
+from repro.media.codec import PROFILE_1080P
+from repro.media.sip import CallState, EchoServer, SipClient, SipResponse
+
+AMS = city_by_name("Amsterdam").location
+
+
+def clean_path() -> DataPath:
+    return DataPath(
+        segments=[PathSegment(kind=SegmentKind.PEERING, start=AMS, end=AMS)],
+        description="clean",
+    )
+
+
+class TestEchoServer:
+    def test_answers_invites(self):
+        server = EchoServer("sip:echo@vns", "AMS")
+        client = SipClient("sip:client@test")
+        call = client.invite(
+            server, PROFILE_1080P, clean_path(), rng=np.random.default_rng(0)
+        )
+        assert call.state is CallState.ESTABLISHED
+        assert server.answered == 1
+
+    def test_response_classes(self):
+        assert SipResponse.OK.is_success
+        assert not SipResponse.REQUEST_TIMEOUT.is_success
+
+
+class TestSipClient:
+    def test_call_ids_unique(self):
+        server = EchoServer("sip:echo@vns", "AMS")
+        client = SipClient("sip:client@test")
+        rng = np.random.default_rng(0)
+        call1 = client.invite(server, PROFILE_1080P, clean_path(), rng=rng)
+        call2 = client.invite(server, PROFILE_1080P, clean_path(), rng=rng)
+        assert call1.call_id != call2.call_id
+
+    def test_transcript_recorded(self):
+        server = EchoServer("sip:echo@vns", "AMS")
+        client = SipClient("sip:client@test")
+        call = client.invite(
+            server, PROFILE_1080P, clean_path(), rng=np.random.default_rng(0)
+        )
+        assert any("INVITE" in line for line in call.transcript)
+        assert any("200 OK" in line for line in call.transcript)
+        assert any("ACK" in line for line in call.transcript)
+
+    def test_bye_terminates(self):
+        server = EchoServer("sip:echo@vns", "AMS")
+        client = SipClient("sip:client@test")
+        rng = np.random.default_rng(0)
+        call = client.invite(server, PROFILE_1080P, clean_path(), rng=rng)
+        client.bye(call, clean_path(), rng=rng)
+        assert call.state is CallState.TERMINATED
+
+    def test_bye_requires_established(self):
+        server = EchoServer("sip:echo@vns", "AMS")
+        client = SipClient("sip:client@test")
+        rng = np.random.default_rng(0)
+        call = client.invite(server, PROFILE_1080P, clean_path(), rng=rng)
+        client.bye(call, clean_path(), rng=rng)
+        with pytest.raises(ValueError):
+            client.bye(call, clean_path(), rng=rng)
+
+    def test_setup_fails_on_totally_lossy_path(self):
+        class BlackHole(PathSegment):
+            pass
+
+        # A path whose only segment is fully congested access: craft via a
+        # transit segment forced to drop everything by monkeypatching the
+        # sampler would be intrusive; instead use zero retransmits and a
+        # statistically hopeless path.
+        lossy = DataPath(
+            segments=[
+                PathSegment(
+                    kind=SegmentKind.TRANSIT,
+                    start=city_by_name("Sydney").location,
+                    end=city_by_name("Singapore").location,
+                )
+            ],
+            description="lossy",
+        )
+        client = SipClient("sip:client@test", max_retransmits=0)
+        server = EchoServer("sip:echo@vns", "SIN")
+        rng = np.random.default_rng(0)
+        outcomes = {
+            client.invite(server, PROFILE_1080P, lossy, rng=rng).state
+            for _ in range(300)
+        }
+        # The vast majority succeed; occasional failures are possible but
+        # the state machine must never produce anything else.
+        assert outcomes <= {CallState.ESTABLISHED, CallState.FAILED}
+
+    def test_negative_retransmits_rejected(self):
+        with pytest.raises(ValueError):
+            SipClient("sip:x@test", max_retransmits=-1)

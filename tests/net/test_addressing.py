@@ -1,0 +1,103 @@
+"""Unit tests for IPv4 addresses and prefixes."""
+
+import pytest
+
+from repro.net.addressing import DEFAULT_ROUTE, IPv4Address, Prefix
+
+
+class TestIPv4Address:
+    def test_parse_and_format(self):
+        addr = IPv4Address.parse("192.0.2.1")
+        assert str(addr) == "192.0.2.1"
+        assert int(addr) == 0xC0000201
+
+    @pytest.mark.parametrize(
+        "text", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-4", ""]
+    )
+    def test_parse_invalid(self, text):
+        with pytest.raises(ValueError):
+            IPv4Address.parse(text)
+
+    def test_ordering(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+        assert IPv4Address.parse("9.255.255.255") < IPv4Address.parse("10.0.0.0")
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+
+
+class TestPrefix:
+    def test_parse_and_format(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert str(prefix) == "10.0.0.0/8"
+        assert prefix.length == 8
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.1/8")
+
+    @pytest.mark.parametrize("text", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/x"])
+    def test_parse_invalid(self, text):
+        with pytest.raises(ValueError):
+            Prefix.parse(text)
+
+    def test_from_address_masks_host_bits(self):
+        prefix = Prefix.from_address(IPv4Address.parse("10.1.2.3"), 16)
+        assert str(prefix) == "10.1.0.0/16"
+
+    def test_contains_address(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.contains_address(IPv4Address.parse("192.0.2.255"))
+        assert not prefix.contains_address(IPv4Address.parse("192.0.3.0"))
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_probe_address_is_network_plus_one(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert str(prefix.probe_address) == "192.0.2.1"
+
+    def test_probe_address_host_route(self):
+        host = Prefix.parse("192.0.2.7/32")
+        assert str(host.probe_address) == "192.0.2.7"
+
+    def test_num_addresses(self):
+        assert Prefix.parse("192.0.2.0/24").num_addresses == 256
+        assert Prefix.parse("0.0.0.0/0").num_addresses == 1 << 32
+
+    def test_address_at(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert str(prefix.address_at(10)) == "192.0.2.10"
+        with pytest.raises(ValueError):
+            prefix.address_at(256)
+
+    def test_subnets(self):
+        subnets = Prefix.parse("10.0.0.0/8").subnets(10)
+        assert len(subnets) == 4
+        assert str(subnets[1]) == "10.64.0.0/10"
+
+    def test_subnets_shorter_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/16").subnets(8)
+
+    def test_supernet(self):
+        assert str(Prefix.parse("10.128.0.0/9").supernet()) == "10.0.0.0/8"
+        with pytest.raises(ValueError):
+            DEFAULT_ROUTE.supernet()
+
+    def test_ordering(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a < b < c
+
+    def test_netmask(self):
+        assert Prefix.parse("10.0.0.0/8").netmask() == 0xFF000000
+        assert DEFAULT_ROUTE.netmask() == 0

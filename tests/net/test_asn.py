@@ -1,0 +1,63 @@
+"""Unit tests for AS entities."""
+
+import pytest
+
+from repro.geo.cities import city_by_name
+from repro.net.asn import ASType, AutonomousSystem, PresencePoint
+
+
+def make_system(asn: int = 64512, cities=("Amsterdam", "Frankfurt")) -> AutonomousSystem:
+    points = [
+        PresencePoint(city=city_by_name(name), location=city_by_name(name).location)
+        for name in cities
+    ]
+    return AutonomousSystem(
+        asn=asn,
+        name=f"TEST-{asn}",
+        as_type=ASType.STP,
+        home=points[0],
+        presence=points,
+    )
+
+
+class TestAutonomousSystem:
+    def test_positive_asn_required(self):
+        with pytest.raises(ValueError):
+            make_system(asn=0)
+
+    def test_presence_defaults_to_home(self):
+        home = PresencePoint(
+            city=city_by_name("Oslo"), location=city_by_name("Oslo").location
+        )
+        system = AutonomousSystem(
+            asn=1, name="X", as_type=ASType.EC, home=home, presence=[]
+        )
+        assert system.presence == [home]
+
+    def test_transit_flags(self):
+        assert make_system().is_transit
+        assert not make_system().is_stub
+        home = PresencePoint(
+            city=city_by_name("Oslo"), location=city_by_name("Oslo").location
+        )
+        stub = AutonomousSystem(asn=2, name="S", as_type=ASType.EC, home=home)
+        assert stub.is_stub
+
+    def test_nearest_presence(self):
+        system = make_system(cities=("Amsterdam", "Tokyo"))
+        near_eu = city_by_name("London").location
+        assert system.nearest_presence(near_eu).city.name == "Amsterdam"
+        near_ap = city_by_name("Seoul").location
+        assert system.nearest_presence(near_ap).city.name == "Tokyo"
+
+    def test_presence_cities(self):
+        system = make_system()
+        assert [c.name for c in system.presence_cities()] == ["Amsterdam", "Frankfurt"]
+
+    def test_hash_by_asn(self):
+        assert hash(make_system(asn=7)) == hash(make_system(asn=7, cities=("Oslo",)))
+
+
+class TestASType:
+    def test_four_types(self):
+        assert {t.value for t in ASType} == {"LTP", "STP", "CAHP", "EC"}

@@ -1,0 +1,26 @@
+"""Unit tests for IXPs."""
+
+from repro.geo.cities import city_by_name
+from repro.net.ixp import IXP, ixp_for_city
+
+
+class TestIXP:
+    def test_well_known_name(self):
+        ixp = ixp_for_city(city_by_name("Amsterdam"))
+        assert ixp.name == "AMS-IX"
+
+    def test_generated_name(self):
+        ixp = ixp_for_city(city_by_name("Kyiv"))
+        assert ixp.name == "IX-Kyiv"
+
+    def test_membership(self):
+        ixp = ixp_for_city(city_by_name("London"))
+        ixp.add_member(64512)
+        ixp.add_member(64512)  # idempotent
+        assert 64512 in ixp
+        assert len(ixp.members) == 1
+
+    def test_common_members(self):
+        a = IXP(name="A", city=city_by_name("London"), members={1, 2, 3})
+        b = IXP(name="B", city=city_by_name("Paris"), members={2, 3, 4})
+        assert a.common_members(b) == {2, 3}

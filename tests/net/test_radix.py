@@ -1,0 +1,112 @@
+"""Unit tests for the radix trie."""
+
+import pytest
+
+from repro.net.addressing import IPv4Address, Prefix
+from repro.net.radix import RadixTree
+
+
+@pytest.fixture
+def tree() -> RadixTree:
+    t: RadixTree = RadixTree()
+    t.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+    t.insert(Prefix.parse("10.1.0.0/16"), "mid")
+    t.insert(Prefix.parse("10.1.2.0/24"), "fine")
+    return t
+
+
+class TestInsertLookup:
+    def test_len(self, tree):
+        assert len(tree) == 3
+
+    def test_exact(self, tree):
+        assert tree.exact(Prefix.parse("10.1.0.0/16")) == "mid"
+
+    def test_exact_missing_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.exact(Prefix.parse("10.2.0.0/16"))
+
+    def test_replace_value(self, tree):
+        tree.insert(Prefix.parse("10.1.0.0/16"), "new")
+        assert tree.exact(Prefix.parse("10.1.0.0/16")) == "new"
+        assert len(tree) == 3
+
+    def test_contains(self, tree):
+        assert Prefix.parse("10.0.0.0/8") in tree
+        assert Prefix.parse("10.3.0.0/16") not in tree
+
+    def test_stored_none_value(self):
+        t: RadixTree = RadixTree()
+        t.insert(Prefix.parse("10.0.0.0/8"), None)
+        assert Prefix.parse("10.0.0.0/8") in t
+        assert t.exact(Prefix.parse("10.0.0.0/8")) is None
+
+
+class TestLongestMatch:
+    def test_most_specific_wins(self, tree):
+        hit = tree.longest_match(IPv4Address.parse("10.1.2.3"))
+        assert hit == (Prefix.parse("10.1.2.0/24"), "fine")
+
+    def test_mid_level(self, tree):
+        hit = tree.longest_match(IPv4Address.parse("10.1.9.1"))
+        assert hit == (Prefix.parse("10.1.0.0/16"), "mid")
+
+    def test_coarse_level(self, tree):
+        hit = tree.longest_match(IPv4Address.parse("10.200.0.1"))
+        assert hit == (Prefix.parse("10.0.0.0/8"), "coarse")
+
+    def test_no_match(self, tree):
+        assert tree.longest_match(IPv4Address.parse("11.0.0.1")) is None
+
+    def test_default_route_matches_everything(self):
+        t: RadixTree = RadixTree()
+        t.insert(Prefix.parse("0.0.0.0/0"), "default")
+        assert t.longest_match(IPv4Address.parse("203.0.113.9")) == (
+            Prefix.parse("0.0.0.0/0"),
+            "default",
+        )
+
+    def test_host_route(self):
+        t: RadixTree = RadixTree()
+        t.insert(Prefix.parse("10.0.0.1/32"), "host")
+        assert t.longest_match(IPv4Address.parse("10.0.0.1"))[1] == "host"
+        assert t.longest_match(IPv4Address.parse("10.0.0.2")) is None
+
+    def test_matches_returns_all_less_specific_first(self, tree):
+        hits = tree.matches(IPv4Address.parse("10.1.2.3"))
+        assert [value for _, value in hits] == ["coarse", "mid", "fine"]
+
+
+class TestDelete:
+    def test_delete_leaf(self, tree):
+        tree.delete(Prefix.parse("10.1.2.0/24"))
+        assert len(tree) == 2
+        hit = tree.longest_match(IPv4Address.parse("10.1.2.3"))
+        assert hit[1] == "mid"
+
+    def test_delete_inner_keeps_children(self, tree):
+        tree.delete(Prefix.parse("10.1.0.0/16"))
+        assert tree.longest_match(IPv4Address.parse("10.1.2.3"))[1] == "fine"
+        assert tree.longest_match(IPv4Address.parse("10.1.9.1"))[1] == "coarse"
+
+    def test_delete_missing_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.delete(Prefix.parse("10.3.0.0/16"))
+
+    def test_delete_then_reinsert(self, tree):
+        prefix = Prefix.parse("10.1.2.0/24")
+        tree.delete(prefix)
+        tree.insert(prefix, "again")
+        assert tree.exact(prefix) == "again"
+
+
+class TestIteration:
+    def test_items_complete(self, tree):
+        assert len(list(tree.items())) == 3
+
+    def test_prefixes(self, tree):
+        assert set(tree.prefixes()) == {
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.1.0.0/16"),
+            Prefix.parse("10.1.2.0/24"),
+        }

@@ -1,0 +1,76 @@
+"""Unit tests for the AS relationship graph."""
+
+import pytest
+
+from repro.net.relationships import ASGraph, Relationship
+
+
+@pytest.fixture
+def graph() -> ASGraph:
+    g = ASGraph()
+    # 1 and 2 are providers; 3 buys from both; 4 buys from 3; 3 peers 5.
+    g.add_provider_customer(1, 3)
+    g.add_provider_customer(2, 3)
+    g.add_provider_customer(3, 4)
+    g.add_peering(3, 5)
+    g.add_provider_customer(1, 5)
+    return g
+
+
+class TestEdges:
+    def test_inverse_consistency(self, graph):
+        assert graph.relationship(1, 3) is Relationship.CUSTOMER
+        assert graph.relationship(3, 1) is Relationship.PROVIDER
+
+    def test_peering_symmetric(self, graph):
+        assert graph.relationship(3, 5) is Relationship.PEER
+        assert graph.relationship(5, 3) is Relationship.PEER
+
+    def test_self_loop_rejected(self):
+        g = ASGraph()
+        with pytest.raises(ValueError):
+            g.add_peering(1, 1)
+
+    def test_duplicate_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_peering(1, 3)
+
+    def test_unknown_pair_raises(self, graph):
+        with pytest.raises(KeyError):
+            graph.relationship(1, 4)
+
+    def test_num_links(self, graph):
+        assert graph.num_links() == 5
+
+
+class TestQueries:
+    def test_customers_of(self, graph):
+        assert set(graph.customers_of(1)) == {3, 5}
+
+    def test_providers_of(self, graph):
+        assert set(graph.providers_of(3)) == {1, 2}
+
+    def test_peers_of(self, graph):
+        assert graph.peers_of(3) == [5]
+
+    def test_customer_cone(self, graph):
+        assert graph.customer_cone(1) == {1, 3, 4, 5}
+        assert graph.customer_cone(4) == {4}
+
+    def test_relationship_inverse_helper(self):
+        assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+
+
+class TestCliqueReachability:
+    def test_all_reach_clique(self, graph):
+        for asn in graph.asns():
+            assert graph.has_provider_path_to_clique(asn, [1, 2])
+
+    def test_orphan_does_not_reach(self):
+        g = ASGraph()
+        g.add_as(9)
+        g.add_provider_customer(1, 2)
+        assert not g.has_provider_path_to_clique(9, [1])
+        assert g.has_provider_path_to_clique(2, [1])
+        assert g.has_provider_path_to_clique(1, [1])

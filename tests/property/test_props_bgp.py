@@ -1,0 +1,70 @@
+"""Property-based tests for the BGP decision process."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import AsPath, Origin, Route
+from repro.bgp.decision import DecisionContext, best_route, decision_order
+from repro.net.addressing import Prefix
+
+PFX = Prefix.parse("203.0.113.0/24")
+
+
+@st.composite
+def routes(draw):
+    path_length = draw(st.integers(min_value=1, max_value=5))
+    as_path = AsPath(
+        tuple(draw(st.integers(min_value=1, max_value=20)) for _ in range(path_length))
+    )
+    return Route(
+        prefix=PFX,
+        as_path=as_path,
+        next_hop=draw(st.sampled_from(["n1", "n2", "n3"])),
+        origin=draw(st.sampled_from(list(Origin))),
+        med=draw(st.integers(min_value=0, max_value=100)),
+        local_pref=draw(st.integers(min_value=50, max_value=500)),
+        learned_from=draw(st.sampled_from(["p1", "p2", "p3", "p4"])),
+        ebgp=draw(st.booleans()),
+    )
+
+
+CTX = DecisionContext(igp_metric=lambda nh: {"n1": 1.0, "n2": 5.0, "n3": 9.0}[nh])
+
+
+class TestDecisionProperties:
+    @given(st.lists(routes(), min_size=1, max_size=8))
+    @settings(max_examples=300)
+    def test_best_is_a_candidate(self, candidates):
+        best = best_route(candidates, CTX)
+        assert best in candidates
+
+    @given(st.lists(routes(), min_size=1, max_size=8))
+    @settings(max_examples=300)
+    def test_order_invariance(self, candidates):
+        """The selected route must not depend on candidate order."""
+        forward = best_route(candidates, CTX)
+        backward = best_route(list(reversed(candidates)), CTX)
+        assert forward == backward
+
+    @given(st.lists(routes(), min_size=1, max_size=8))
+    def test_best_has_max_local_pref(self, candidates):
+        best = best_route(candidates, CTX)
+        assert best.local_pref == max(r.local_pref for r in candidates)
+
+    @given(st.lists(routes(), min_size=1, max_size=8))
+    def test_survivors_subset(self, candidates):
+        survivors = decision_order(candidates, CTX)
+        assert survivors
+        assert set(id(r) for r in survivors) <= set(id(r) for r in candidates)
+
+    @given(st.lists(routes(), min_size=2, max_size=8))
+    @settings(max_examples=300)
+    def test_removing_a_loser_keeps_best(self, candidates):
+        """Independence of irrelevant alternatives: dropping a non-best
+        candidate never changes the selection."""
+        best = best_route(candidates, CTX)
+        for i in range(len(candidates)):
+            if candidates[i] == best:
+                continue
+            remaining = candidates[:i] + candidates[i + 1 :]
+            assert best_route(remaining, CTX) == best

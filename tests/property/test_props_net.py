@@ -1,0 +1,90 @@
+"""Property-based tests for addressing and the radix trie."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addressing import IPv4Address, Prefix
+from repro.net.radix import RadixTree
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1).map(IPv4Address)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+@st.composite
+def prefixes(draw):
+    address = draw(addresses)
+    length = draw(lengths)
+    return Prefix.from_address(address, length)
+
+
+class TestAddressProperties:
+    @given(addresses)
+    def test_parse_format_roundtrip(self, address):
+        assert IPv4Address.parse(str(address)) == address
+
+    @given(prefixes())
+    def test_prefix_parse_roundtrip(self, prefix):
+        assert Prefix.parse(str(prefix)) == prefix
+
+    @given(prefixes())
+    def test_prefix_contains_its_network(self, prefix):
+        assert prefix.contains_address(prefix.first_address)
+        assert prefix.contains_address(prefix.probe_address)
+
+    @given(prefixes())
+    def test_supernet_contains_prefix(self, prefix):
+        if prefix.length == 0:
+            return
+        assert prefix.supernet().contains_prefix(prefix)
+
+    @given(prefixes())
+    @settings(max_examples=100)
+    def test_subnets_partition(self, prefix):
+        if prefix.length > 30:
+            return
+        subnets = prefix.subnets(prefix.length + 2)
+        assert len(subnets) == 4
+        total = sum(s.num_addresses for s in subnets)
+        assert total == prefix.num_addresses
+        for subnet in subnets:
+            assert prefix.contains_prefix(subnet)
+
+    @given(prefixes(), prefixes())
+    def test_containment_antisymmetry(self, a, b):
+        if a == b:
+            return
+        if a.contains_prefix(b):
+            assert not b.contains_prefix(a)
+
+
+class TestRadixAgainstNaive:
+    @given(
+        st.lists(st.tuples(prefixes(), st.integers()), min_size=0, max_size=40),
+        st.lists(addresses, min_size=1, max_size=20),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_longest_match_equals_reference(self, entries, queries):
+        tree: RadixTree = RadixTree()
+        reference: dict[Prefix, int] = {}
+        for prefix, value in entries:
+            tree.insert(prefix, value)
+            reference[prefix] = value
+        for address in queries:
+            expected = None
+            for prefix, value in reference.items():
+                if prefix.contains_address(address):
+                    if expected is None or prefix.length > expected[0].length:
+                        expected = (prefix, value)
+            assert tree.longest_match(address) == expected
+
+    @given(st.lists(prefixes(), min_size=1, max_size=30, unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_insert_delete_roundtrip(self, prefix_list):
+        tree: RadixTree = RadixTree()
+        for i, prefix in enumerate(prefix_list):
+            tree.insert(prefix, i)
+        assert len(tree) == len(prefix_list)
+        for prefix in prefix_list:
+            tree.delete(prefix)
+        assert len(tree) == 0
+        assert tree.longest_match(IPv4Address(0)) is None

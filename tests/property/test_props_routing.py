@@ -1,0 +1,141 @@
+"""Property-based tests for valley-free routing and SPF."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.propagation import RouteKind, compute_routes_to_origin
+from repro.igp.graph import IgpGraph
+from repro.igp.spf import spf
+from repro.net.relationships import ASGraph
+
+
+@st.composite
+def hierarchies(draw):
+    """Random small AS hierarchies: a clique of 2-3 Tier-1s, a layer of
+    mid ASes buying from them, and stubs below, plus random peering."""
+    n_top = draw(st.integers(2, 3))
+    n_mid = draw(st.integers(2, 5))
+    n_stub = draw(st.integers(2, 6))
+    graph = ASGraph()
+    tops = list(range(1, n_top + 1))
+    mids = list(range(10, 10 + n_mid))
+    stubs = list(range(100, 100 + n_stub))
+    for i, a in enumerate(tops):
+        for b in tops[i + 1 :]:
+            graph.add_peering(a, b)
+    for mid in mids:
+        providers = draw(
+            st.lists(st.sampled_from(tops), min_size=1, max_size=n_top, unique=True)
+        )
+        for provider in providers:
+            graph.add_provider_customer(provider, mid)
+    for stub in stubs:
+        providers = draw(
+            st.lists(st.sampled_from(mids), min_size=1, max_size=2, unique=True)
+        )
+        for provider in providers:
+            graph.add_provider_customer(provider, stub)
+    # Random peering among mids.
+    for i, a in enumerate(mids):
+        for b in mids[i + 1 :]:
+            if draw(st.booleans()) and b not in graph.neighbors(a):
+                graph.add_peering(a, b)
+    return graph
+
+
+def _is_valley_free(graph: ASGraph, path: tuple[int, ...], origin: int) -> bool:
+    """Check the classic up*-across?-down* pattern along the path walked
+    from the routed AS toward the origin (reversed = export direction)."""
+    full = path + (origin,) if not path or path[-1] != origin else path
+    # Walk in export direction: origin -> ... -> holder.
+    hops = list(reversed(full))
+    # Edge types in export direction: customer->provider is "up".
+    from repro.net.relationships import Relationship
+
+    seen_down_or_peer = False
+    peers_used = 0
+    for a, b in zip(hops, hops[1:]):
+        rel = graph.relationship(b, a)  # how b sees a
+        if rel is Relationship.CUSTOMER:
+            # a is b's customer: export went upward (customer->provider).
+            if seen_down_or_peer:
+                return False
+        elif rel is Relationship.PEER:
+            peers_used += 1
+            if peers_used > 1 or seen_down_or_peer:
+                return False
+            seen_down_or_peer = True
+        else:
+            seen_down_or_peer = True
+    return True
+
+
+class TestValleyFreeProperties:
+    @given(hierarchies())
+    @settings(max_examples=60, deadline=None)
+    def test_full_reachability(self, graph):
+        for origin in graph.asns():
+            routes = compute_routes_to_origin(graph, origin)
+            assert set(routes) == set(graph.asns())
+
+    @given(hierarchies())
+    @settings(max_examples=60, deadline=None)
+    def test_paths_are_valley_free_and_loopless(self, graph):
+        asns = graph.asns()
+        for origin in asns[:3]:
+            routes = compute_routes_to_origin(graph, origin)
+            for asn, route in routes.items():
+                full = (asn,) + route.path
+                assert len(set(full)) == len(full), "loop"
+                if route.path:
+                    assert route.path[-1] == origin
+                    assert _is_valley_free(graph, route.path, origin)
+
+    @given(hierarchies())
+    @settings(max_examples=40, deadline=None)
+    def test_customer_routes_preferred(self, graph):
+        for origin in graph.asns()[:3]:
+            routes = compute_routes_to_origin(graph, origin)
+            for asn, route in routes.items():
+                if route.kind is not RouteKind.CUSTOMER:
+                    # If a customer path existed, it would have won; check
+                    # the origin is not in this AS's customer cone.
+                    if route.kind in (RouteKind.PEER, RouteKind.PROVIDER):
+                        assert origin not in graph.customer_cone(asn)
+
+
+@st.composite
+def weighted_graphs(draw):
+    n = draw(st.integers(3, 8))
+    graph = IgpGraph()
+    nodes = [f"n{i}" for i in range(n)]
+    # A spanning chain guarantees connectivity; random extra links.
+    for a, b in zip(nodes, nodes[1:]):
+        graph.add_link(a, b, draw(st.floats(1.0, 10.0)))
+    for i in range(n):
+        for j in range(i + 2, n):
+            if draw(st.booleans()):
+                graph.add_link(nodes[i], nodes[j], draw(st.floats(1.0, 10.0)))
+    return graph, nodes
+
+
+class TestSpfProperties:
+    @given(weighted_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_path_cost_matches_distance(self, graph_nodes):
+        graph, nodes = graph_nodes
+        result = spf(graph, nodes[0])
+        for node in nodes:
+            path = result.path_to(node)
+            assert path is not None
+            cost = sum(graph.metric(a, b) for a, b in zip(path, path[1:]))
+            assert abs(cost - result.metric_to(node)) < 1e-9
+
+    @given(weighted_graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_symmetric_distances(self, graph_nodes):
+        graph, nodes = graph_nodes
+        forward = spf(graph, nodes[0]).metric_to(nodes[-1])
+        backward = spf(graph, nodes[-1]).metric_to(nodes[0])
+        assert abs(forward - backward) < 1e-9

@@ -1,0 +1,89 @@
+"""Property-based tests for statistics and loss-model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.loss import GilbertElliottLoss
+from repro.dataplane.transmit import combine_rates
+from repro.measurement.stats import Cdf, Ccdf, fraction_at_most, fraction_exceeding
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=60
+)
+
+
+class TestCdfProperties:
+    @given(samples)
+    def test_cdf_monotone(self, values):
+        cdf = Cdf.of(values)
+        assert (np.diff(cdf.ps) >= -1e-12).all()
+
+    @given(samples, st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_cdf_ccdf_complement(self, values, x):
+        cdf = Cdf.of(values)
+        ccdf = Ccdf.of(values)
+        assert cdf.at(x) + ccdf.at(x) == 1.0
+
+    @given(samples)
+    def test_cdf_bounds(self, values):
+        cdf = Cdf.of(values)
+        assert cdf.at(min(values) - 1) == 0.0
+        assert cdf.at(max(values)) == 1.0
+
+    @given(samples, st.floats(min_value=0.01, max_value=1.0))
+    def test_quantile_is_sample(self, values, q):
+        assert Cdf.of(values).quantile(q) in values
+
+    @given(samples, st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_fraction_helpers_complement(self, values, threshold):
+        assert fraction_at_most(values, threshold) + fraction_exceeding(
+            values, threshold
+        ) == 1.0
+
+
+class TestCombineRatesProperties:
+    rate_vectors = st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=4,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=5,
+    )
+
+    @given(rate_vectors)
+    def test_bounds(self, vectors):
+        arrays = [np.array(v) for v in vectors]
+        combined = combine_rates(arrays)
+        assert ((combined >= -1e-12) & (combined <= 1.0 + 1e-12)).all()
+
+    @given(rate_vectors)
+    def test_at_least_max_segment(self, vectors):
+        arrays = [np.array(v) for v in vectors]
+        combined = combine_rates(arrays)
+        stacked = np.vstack(arrays)
+        assert (combined >= stacked.max(axis=0) - 1e-9).all()
+
+    @given(rate_vectors)
+    def test_at_most_sum(self, vectors):
+        arrays = [np.array(v) for v in vectors]
+        combined = combine_rates(arrays)
+        stacked = np.vstack(arrays)
+        assert (combined <= stacked.sum(axis=0) + 1e-9).all()
+
+
+class TestGilbertElliottProperties:
+    probabilities = st.floats(min_value=0.001, max_value=1.0, allow_nan=False)
+
+    @given(probabilities, probabilities, probabilities)
+    @settings(max_examples=50, deadline=None)
+    def test_mean_loss_bounded_by_bad_loss(self, p_gb, p_bg, loss_bad):
+        model = GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg, loss_good=0.0, loss_bad=loss_bad)
+        assert 0.0 <= model.mean_loss() <= loss_bad + 1e-12
+
+    @given(probabilities, probabilities)
+    def test_stationary_in_unit_interval(self, p_gb, p_bg):
+        model = GilbertElliottLoss(p_gb=p_gb, p_bg=p_bg)
+        assert 0.0 <= model.stationary_bad() <= 1.0

@@ -1,0 +1,121 @@
+"""Unit tests for the geo-based route reflector."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, Route
+from repro.bgp.session import Session, SessionType
+from repro.geo.coords import GeoPoint
+from repro.geo.geoip import GeoIPDatabase
+from repro.net.addressing import Prefix
+from repro.vns.geo_rr import (
+    GEO_LP_BASE,
+    GeoRouteReflector,
+    linear_lp,
+    stepped_lp,
+)
+
+ASN = 65000
+PFX = Prefix.parse("203.0.113.0/24")
+AMSTERDAM = GeoPoint(52.37, 4.90)
+SINGAPORE = GeoPoint(1.35, 103.82)
+
+
+def make_reflector(geoip=None) -> GeoRouteReflector:
+    if geoip is None:
+        geoip = GeoIPDatabase()
+        geoip.register(PFX, GeoPoint(51.9, 4.5), "NL")
+    rr = GeoRouteReflector(
+        "RR",
+        ASN,
+        geoip=geoip,
+        router_locations={"A": AMSTERDAM, "B": SINGAPORE},
+    )
+    for client in ("A", "B"):
+        rr.add_session(
+            Session(
+                peer_id=client,
+                session_type=SessionType.IBGP,
+                peer_asn=ASN,
+                rr_client=True,
+            )
+        )
+    return rr
+
+
+def ibgp_route(next_hop: str) -> Route:
+    return Route(prefix=PFX, as_path=AsPath((100, 9)), next_hop=next_hop)
+
+
+class TestLpFunctions:
+    def test_linear_monotone_decreasing(self):
+        assert linear_lp(0) > linear_lp(1000) > linear_lp(10_000) >= linear_lp(30_000)
+
+    def test_linear_always_above_default(self):
+        for d in (0, 500, 5_000, 20_037, 50_000):
+            assert linear_lp(d) >= GEO_LP_BASE > 100
+
+    def test_linear_clamps_negative(self):
+        assert linear_lp(-5) == linear_lp(0)
+
+    def test_stepped_buckets(self):
+        assert stepped_lp(0) == stepped_lp(100)  # same 500 km bucket
+        assert stepped_lp(0) > stepped_lp(600)
+
+    def test_stepped_above_default(self):
+        assert stepped_lp(25_000) >= GEO_LP_BASE
+
+
+class TestGeoAssignment:
+    def test_closer_egress_gets_higher_pref(self):
+        rr = make_reflector()
+        from_a = rr.assign_geo_preference(ibgp_route("A"))
+        from_b = rr.assign_geo_preference(ibgp_route("B"))
+        assert from_a.local_pref > from_b.local_pref
+        assert from_a.local_pref > 1000
+
+    def test_unknown_router_location_left_alone(self):
+        rr = make_reflector()
+        route = rr.assign_geo_preference(ibgp_route("unknown-router"))
+        assert route.local_pref == 100
+        assert rr.stats["no_location"] == 1
+
+    def test_geoip_miss_falls_back_to_default(self):
+        rr = make_reflector(geoip=GeoIPDatabase())
+        route = rr.assign_geo_preference(ibgp_route("A"))
+        assert route.local_pref == 100
+        assert rr.stats["no_geoip"] == 1
+
+    def test_transform_applies_on_ibgp_import(self):
+        rr = make_reflector()
+        session = rr.session_to("A")
+        imported = rr.transform_imported(
+            ibgp_route("A").received("A", ebgp=False), session
+        )
+        assert imported.local_pref > 1000
+        assert rr.stats["assigned"] == 1
+
+    def test_reflection_prefers_geo_closest(self):
+        rr = make_reflector()
+        from repro.bgp.messages import Update
+
+        rr.process(Update(sender="B", receiver="RR", route=ibgp_route("B")))
+        out = rr.process(Update(sender="A", receiver="RR", route=ibgp_route("A")))
+        # After hearing A (closer to the NL prefix), the reflected best
+        # must point at A.
+        assert rr.best(PFX).next_hop == "A"
+        assert any(
+            getattr(m, "route", None) is not None and m.route.next_hop == "A"
+            for m in out
+        )
+
+    def test_custom_lp_function(self):
+        geoip = GeoIPDatabase()
+        geoip.register(PFX, GeoPoint(51.9, 4.5), "NL")
+        rr = GeoRouteReflector(
+            "RR",
+            ASN,
+            geoip=geoip,
+            router_locations={"A": AMSTERDAM},
+            lp_function=lambda d: 7777,
+        )
+        assert rr.assign_geo_preference(ibgp_route("A")).local_pref == 7777

@@ -1,0 +1,73 @@
+"""Unit tests for the L2 topology."""
+
+import pytest
+
+from repro.igp.spf import spf
+from repro.vns.links import (
+    VNS_LONG_HAUL_LINKS,
+    build_l2_topology,
+    l2_links,
+    router_level_igp,
+)
+from repro.vns.pop import POPS, pops_in_region
+from repro.geo.regions import PopRegion
+
+
+class TestL2Links:
+    def test_regional_full_mesh(self):
+        links = {(link.a, link.b) for link in l2_links()} | {
+            (link.b, link.a) for link in l2_links()
+        }
+        eu = [pop.code for pop in pops_in_region(PopRegion.EU)]
+        for i, a in enumerate(eu):
+            for b in eu[i + 1 :]:
+                assert (a, b) in links
+
+    def test_not_fully_meshed_globally(self):
+        # The paper: "The PoPs are not fully meshed".
+        n = len(POPS)
+        assert len(l2_links()) < n * (n - 1) / 2
+
+    def test_long_haul_flags(self):
+        for link in l2_links():
+            if (link.a, link.b) in VNS_LONG_HAUL_LINKS:
+                assert link.long_haul
+                assert link.distance_km() > 2500
+
+    def test_singapore_direct_links(self):
+        # Sec. 4.3: Singapore has "direct dedicated links to Australia,
+        # USA and Europe".
+        sin_links = {
+            frozenset((a, b)) for a, b in VNS_LONG_HAUL_LINKS if "SIN" in (a, b)
+        }
+        assert frozenset(("SIN", "SYD")) in sin_links
+        assert frozenset(("SIN", "SJS")) in sin_links
+        assert frozenset(("SIN", "AMS")) in sin_links
+
+
+class TestTopologyBuild:
+    def test_connected(self):
+        graph, links = build_l2_topology()
+        assert graph.is_connected()
+        assert len(graph.nodes()) == 11
+
+    def test_metrics_track_delay(self):
+        graph, _ = build_l2_topology()
+        # A long-haul link must cost more than a metro link.
+        assert graph.metric("SIN", "SJS") > graph.metric("AMS", "FRA")
+
+    def test_singapore_delay_advantage(self):
+        # From SIN, direct circuits give competitive internal paths.
+        graph, _ = build_l2_topology()
+        result = spf(graph, "SIN")
+        for code in ("SYD", "SJS", "AMS"):
+            path = result.path_to(code)
+            assert path == ["SIN", code]
+
+    def test_router_level_graph(self):
+        pop_graph, _ = build_l2_topology()
+        router_graph = router_level_igp(pop_graph)
+        assert router_graph.is_connected()
+        assert len(router_graph.nodes()) == sum(p.n_border_routers for p in POPS)
+        # Intra-PoP links are cheap.
+        assert router_graph.metric("LON-r1", "LON-r2") == 1.0

@@ -1,0 +1,94 @@
+"""Unit tests for the management override interface."""
+
+import pytest
+
+from repro.bgp.attributes import NO_EXPORT, AsPath, Route
+from repro.geo.coords import GeoPoint
+from repro.geo.geoip import GeoIPDatabase
+from repro.net.addressing import Prefix
+from repro.vns.geo_rr import GeoRouteReflector
+from repro.vns.management import FORCED_EXIT_LP, ManagementInterface, tag_no_export
+
+ASN = 65000
+PFX = Prefix.parse("203.0.113.0/24")
+
+
+def make_pair() -> tuple[ManagementInterface, GeoRouteReflector]:
+    geoip = GeoIPDatabase()
+    geoip.register(PFX, GeoPoint(51.9, 4.5), "NL")
+    management = ManagementInterface()
+    rr = GeoRouteReflector(
+        "RR",
+        ASN,
+        geoip=geoip,
+        router_locations={
+            "AMS-r1": GeoPoint(52.37, 4.90),
+            "SIN-r1": GeoPoint(1.35, 103.82),
+        },
+        management=management,
+    )
+    return management, rr
+
+
+def route(next_hop: str) -> Route:
+    return Route(prefix=PFX, as_path=AsPath((100, 9)), next_hop=next_hop)
+
+
+class TestForceExit:
+    def test_forced_pop_gets_pinned_pref(self):
+        management, rr = make_pair()
+        management.force_exit(PFX, "SIN")
+        handled = management.transform(rr, route("SIN-r1"))
+        assert handled.local_pref == FORCED_EXIT_LP
+
+    def test_other_pops_keep_geo_pref(self):
+        management, rr = make_pair()
+        management.force_exit(PFX, "SIN")
+        handled = management.transform(rr, route("AMS-r1"))
+        assert 1000 < handled.local_pref < FORCED_EXIT_LP
+        assert rr.stats["forced"] >= 1
+
+    def test_clear_forced_exit(self):
+        management, rr = make_pair()
+        management.force_exit(PFX, "SIN")
+        management.clear_forced_exit(PFX)
+        assert management.transform(rr, route("AMS-r1")) is None
+        management.clear_forced_exit(PFX)  # idempotent
+
+
+class TestExemption:
+    def test_exempt_keeps_imported_pref(self):
+        management, rr = make_pair()
+        management.exempt_from_geo(PFX)
+        original = route("AMS-r1")
+        handled = management.transform(rr, original)
+        assert handled is original
+        assert rr.stats["exempt"] == 1
+
+    def test_clear_exemption(self):
+        management, rr = make_pair()
+        management.exempt_from_geo(PFX)
+        management.clear_exemption(PFX)
+        assert management.transform(rr, route("AMS-r1")) is None
+
+
+class TestStaticMoreSpecifics:
+    def test_registration(self):
+        management, _ = make_pair()
+        sub = Prefix.parse("203.0.113.0/25")
+        management.add_static_more_specific(sub, "SIN")
+        assert management.static_more_specifics() == {sub: "SIN"}
+
+    def test_overrides_count(self):
+        management, _ = make_pair()
+        assert management.overrides_count() == 0
+        management.force_exit(PFX, "SIN")
+        management.exempt_from_geo(Prefix.parse("198.51.100.0/24"))
+        management.add_static_more_specific(Prefix.parse("203.0.113.0/25"), "SIN")
+        assert management.overrides_count() == 3
+
+
+class TestTagNoExport:
+    def test_tagging(self):
+        tagged = tag_no_export(route("AMS-r1"))
+        assert NO_EXPORT in tagged.communities

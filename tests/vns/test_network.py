@@ -1,0 +1,68 @@
+"""Unit tests for the assembled VNS network (structure and queries)."""
+
+import pytest
+
+from repro.geo.geoip import GeoIPDatabase
+from repro.vns.network import (
+    VNS_ASN,
+    VnsNetwork,
+    external_peer_id,
+    parse_external_peer_id,
+)
+from repro.vns.pop import POPS
+
+
+class TestPeerIds:
+    def test_round_trip(self):
+        peer_id = external_peer_id(1234, "LON-r1")
+        assert parse_external_peer_id(peer_id) == (1234, "LON-r1")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_external_peer_id("not-an-id")
+
+
+class TestConstruction:
+    def test_route_reflector_mode(self):
+        net = VnsNetwork(geoip=GeoIPDatabase())
+        assert len(net.border_routers) == sum(p.n_border_routers for p in POPS)
+        assert len(net.reflectors) == 2
+        # Every border has sessions to both reflectors.
+        for router in net.border_routers.values():
+            assert set(router.sessions) >= set(net.reflectors)
+
+    def test_full_mesh_mode(self):
+        net = VnsNetwork(geoip=GeoIPDatabase(), geo_routing=False, ibgp_mode="full-mesh")
+        assert not net.reflectors
+        n = len(net.border_routers)
+        for router in net.border_routers.values():
+            assert len(router.sessions) == n - 1
+
+    def test_geo_requires_reflectors(self):
+        with pytest.raises(ValueError):
+            VnsNetwork(geoip=GeoIPDatabase(), geo_routing=True, ibgp_mode="full-mesh")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            VnsNetwork(geoip=GeoIPDatabase(), ibgp_mode="ring")
+
+    def test_igp_l2_paths(self):
+        net = VnsNetwork(geoip=GeoIPDatabase())
+        path = net.pop_l2_path("AMS", "SIN")
+        assert path[0] == "AMS" and path[-1] == "SIN"
+        assert net.pop_l2_path("AMS", "AMS") == ["AMS"]
+
+    def test_routers_at_pop(self):
+        net = VnsNetwork(geoip=GeoIPDatabase())
+        lon = net.routers_at_pop("LON")
+        assert [r.router_id for r in lon] == ["LON-r1", "LON-r2"]
+
+    def test_add_ebgp_session(self):
+        net = VnsNetwork(geoip=GeoIPDatabase())
+        peer_id = net.add_ebgp_session("LON-r1", 777)
+        router = net.border_routers["LON-r1"]
+        assert router.session_to(peer_id).peer_asn == 777
+
+    def test_asn_constant(self):
+        net = VnsNetwork(geoip=GeoIPDatabase())
+        assert all(r.asn == VNS_ASN for r in net.border_routers.values())

@@ -1,0 +1,148 @@
+"""Tests for the VideoNetworkService façade."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.link import SegmentKind
+from repro.net.addressing import Prefix
+from repro.vns.pop import POPS, pop_by_code
+
+
+class TestEgressDecisions:
+    def test_geo_routing_picks_nearest_pop(self, small_world):
+        """With an exact GeoIP database the geo egress is the
+        geographically nearest PoP for (almost) every prefix."""
+        from repro.geo.coords import great_circle_km
+
+        service = small_world.service
+        matches = 0
+        total = 0
+        for prefix in service.topology.prefixes():
+            decision = service.egress_decision("LON", prefix)
+            if decision is None:
+                continue
+            location = service.geoip.reported_location(prefix)
+            nearest = min(
+                POPS, key=lambda pop: great_circle_km(pop.location, location)
+            )
+            total += 1
+            matches += nearest.code == decision.egress_pop
+        assert total > 0
+        assert matches / total > 0.95
+
+    def test_decision_consistent_across_entries(self, small_world):
+        """The geo egress is a network-wide property: every entry PoP
+        resolves the same egress PoP."""
+        service = small_world.service
+        for prefix in service.topology.prefixes()[:40]:
+            egresses = set()
+            for entry in ("LON", "SJS", "SIN"):
+                decision = service.egress_decision(entry, prefix)
+                if decision is not None:
+                    egresses.add(decision.egress_pop)
+            assert len(egresses) <= 1
+
+    def test_unknown_prefix_returns_none(self, small_world):
+        missing = Prefix.parse("172.31.0.0/16")
+        assert small_world.service.egress_decision("LON", missing) is None
+
+
+class TestPathBuilders:
+    def test_vns_internal_path_segments(self, small_world):
+        path = small_world.service.vns_internal_path("AMS", "SIN")
+        assert all(s.kind is SegmentKind.VNS_L2 for s in path.segments)
+        assert path.rtt_ms() > 100
+
+    def test_vns_internal_same_pop_empty(self, small_world):
+        path = small_world.service.vns_internal_path("AMS", "AMS")
+        assert len(path) == 0
+        assert path.rtt_ms() == 0.0
+
+    def test_path_via_vns_structure(self, small_world):
+        service = small_world.service
+        prefix = service.topology.prefixes()[3]
+        path = service.path_via_vns("LON", prefix)
+        assert path is not None
+        kinds = [segment.kind for segment in path.segments]
+        assert kinds[-1] is SegmentKind.ACCESS
+        # Internal leg first (if the egress is remote), then the handoff.
+        assert SegmentKind.PEERING in kinds
+
+    def test_path_local_exit(self, small_world):
+        service = small_world.service
+        prefix = service.topology.prefixes()[3]
+        path = service.path_local_exit("LON", prefix)
+        assert path is not None
+        assert path.segments[0].start == pop_by_code("LON").location
+
+    def test_upstreams_only_restricts_first_hop(self, small_world):
+        service = small_world.service
+        upstreams = set(service.deployment.upstreams)
+        for prefix in service.topology.prefixes()[:30]:
+            resolved = service._external_route_at_pop("LON", prefix, True)
+            if resolved is None:
+                continue
+            asn, _ = resolved
+            assert asn in upstreams
+
+    def test_pop_to_pop_transit_path(self, small_world):
+        path = small_world.service.path_between_pops_via_upstream("AMS", "SIN")
+        assert path.segments[-1].kind is not SegmentKind.ACCESS
+        assert path.rtt_ms() > small_world.service.vns_internal_path("AMS", "SIN").rtt_ms() * 0.5
+
+    def test_last_mile_path_typed(self, small_world):
+        service = small_world.service
+        prefix = service.topology.prefixes()[0]
+        origin = service.topology.origin_as(prefix)
+        rng = np.random.default_rng(0)
+        location = service.topology.host_location(prefix, rng)
+        path = service.last_mile_path(prefix, location, "AMS")
+        assert path.segments[0].kind is SegmentKind.ACCESS
+        assert path.segments[0].as_type is origin.as_type
+
+
+class TestCalls:
+    def test_call_paths_both_transports(self, small_world):
+        service = small_world.service
+        prefixes = service.topology.prefixes()
+        rng = np.random.default_rng(1)
+        src, dst = prefixes[1], prefixes[-2]
+        call = service.call_paths(
+            src,
+            service.topology.host_location(src, rng),
+            dst,
+            service.topology.host_location(dst, rng),
+        )
+        assert call is not None
+        assert call.via_vns.rtt_ms() > 0
+        assert call.via_internet.rtt_ms() > 0
+        assert call.entry_pop in {pop.code for pop in POPS}
+        assert call.exit_pop in {pop.code for pop in POPS}
+
+
+class TestStaticMoreSpecifics:
+    def test_apply_static_more_specific(self, small_world_with_errors):
+        """Uses the error-injected world (module-separate fixture) so the
+        shared clean world is not mutated."""
+        service = small_world_with_errors.service
+        # Pick a routed prefix and a /22 inside it.
+        parent = service.topology.prefixes()[0]
+        sub = parent.subnets(parent.length + 2)[1]
+        service.apply_static_more_specific(sub, "SIN")
+        # The more specific must now steer SIN-ward from any entry.
+        decision = service.egress_decision("LON", sub)
+        assert decision is not None
+        assert decision.egress_pop == "SIN"
+        # And it must never be announced externally.
+        leaked = [
+            m
+            for m in service.network.engine.external_outbox
+            if getattr(m, "route", None) is not None and m.route.prefix == sub
+        ]
+        assert not leaked
+
+    def test_requires_covering_route(self, small_world_with_errors):
+        service = small_world_with_errors.service
+        orphan = Prefix.parse("172.31.0.0/24")
+        with pytest.raises(ValueError):
+            service.apply_static_more_specific(orphan, "SIN")
