@@ -1,0 +1,71 @@
+"""Benchmarks the failover suite: fault injection across the VNS overlay.
+
+Not a paper figure — the paper measures the steady state its circuits buy
+— but the stress companion to it: cut every long-haul circuit, kill a
+PoP, flap an upstream, degrade transit, and check the overlay heals.
+
+Shape criteria (ISSUE acceptance): every scenario converges with zero
+ConvergenceError; after each scenario's final repair no prefix is left
+permanently blackholed (the production mesh is biconnected except for
+SYD behind SIN, and even that restores on repair); media loss during
+failover is bounded and returns to the steady-state level.
+"""
+
+import pytest
+
+from repro.experiments import failover
+from repro.experiments.common import World, build_world
+
+from .conftest import BENCH_SEED, run_once
+
+
+@pytest.fixture(scope="module")
+def failover_world() -> World:
+    """A private world: fault scenarios mutate (and repair) the service.
+
+    Kept separate from the session-scoped ``medium_world`` so a failure
+    mid-scenario can never leak fault state into the figure benchmarks.
+    """
+    return build_world("medium", seed=BENCH_SEED)
+
+
+def test_bench_failover_suite(benchmark, failover_world, show):
+    # Zero ConvergenceError: run() raising would fail the test here.
+    result = run_once(benchmark, failover.run, failover_world)
+    show(failover.render(result))
+
+    # --- shape assertions (ISSUE acceptance criteria) --------------------
+    assert result.scenarios, "suite ran no scenarios"
+
+    # (b) After every scenario's repair, no prefix stays blackholed.
+    for scenario in result.scenarios:
+        assert not scenario.permanent_blackholes, scenario.name
+    assert result.permanent_blackhole_count() == 0
+
+    # Reconvergence is bounded: no event needs a runaway message storm.
+    message_cdf = result.message_cdf()
+    assert message_cdf.quantile(1.0) < 100_000
+
+    # (c) Media loss during failover is bounded and recovers.
+    for scenario in result.scenarios:
+        media = scenario.media
+        if media is None:
+            continue
+        assert media.failover_loss_percent <= 100.0
+        assert media.recovered_loss_percent < media.failover_loss_percent + 1.0
+        assert abs(media.recovered_loss_percent - media.steady_loss_percent) < 2.0
+
+    # The whole-PoP failure visibly opens a blackhole window mid-failover
+    # and anycast re-catchment moves that PoP's users elsewhere.
+    pop = next(s for s in result.scenarios if s.name.startswith("pop-failure"))
+    assert any(impact.blackholes_during for impact in pop.impacts)
+    assert pop.notes["users_recaught_elsewhere"] > 0
+    assert pop.notes["entry_after_matches_before"] is True
+
+    # Transit degradation is pure data plane: zero BGP messages.
+    quiet = next(
+        s for s in result.scenarios if s.name.startswith("transit-degradation")
+    )
+    assert quiet.total_messages == 0
+    assert quiet.notes["control_plane_quiet"] is True
+    assert quiet.media.failover_loss_percent > quiet.media.steady_loss_percent

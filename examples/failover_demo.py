@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A fibre cut mid-call: fault injection and failover on the VNS overlay.
+
+An Amsterdam user is mid-conference with a bridge in Ashburn when the
+trans-Atlantic circuit their traffic rides is cut.  The demo walks the
+failure the way the overlay experiences it: the IGP reroutes, BGP
+re-shuffles hot-potato egresses message by message, the in-flight stream
+eats a bounded outage, and the repair puts everything back exactly as it
+was.
+
+Run:
+    python examples/failover_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import build_world
+from repro.faults import (
+    FaultInjector,
+    ImpactMeter,
+    LinkDown,
+    LinkUp,
+    MediaImpact,
+    failover_window_s,
+    measure_event,
+    overlay_outage,
+    prefix_sample,
+    resolve_corridor,
+)
+
+
+def route(service, src: str, dst: str) -> str:
+    return " -> ".join(service.network.pop_l2_path(src, dst))
+
+
+def main() -> None:
+    world = build_world("small", seed=42)
+    service = world.service
+    rng = np.random.default_rng(7)
+
+    src, dst = "AMS", "ASH"
+    a, b = resolve_corridor(service, src, dst)  # AMS->ASH rides LON==ASH
+    print(f"Conference corridor {src} -> {dst}; circuit to cut: {a}=={b}")
+    print(f"  route before the cut: {route(service, src, dst)}")
+
+    injector = FaultInjector(service)
+    meter = ImpactMeter(
+        service, prefix_sample(tuple(service.topology.prefix_location), limit=32)
+    )
+
+    # The call is up and clean.
+    steady = service.simulate_internal_stream(src, dst, rng=rng)
+    print(f"  steady state: loss {steady.loss_percent:.2f}%, RTT {steady.rtt_ms:.1f} ms")
+
+    # --- the cut ---------------------------------------------------------
+    cut = measure_event(injector, meter, LinkDown(time_s=60.0, a=a, b=b))
+    window = failover_window_s(cut.messages)
+    print(f"\nt=60s  {a}=={b} goes dark")
+    print(f"  BGP reconverges in {cut.messages} messages "
+          f"(failover window ~{window:.2f} s)")
+    print(f"  cells blackholed mid-failover: {len(cut.blackholes_during)}, "
+          f"after convergence: {len(cut.blackholes_after)}")
+    print(f"  egress shifted for {len(cut.shifted)} (entry, prefix) cells")
+    print(f"  route during the outage: {route(service, src, dst)}")
+
+    failover = overlay_outage(
+        service.simulate_internal_stream(src, dst, rng=rng), window
+    )
+
+    # --- the repair ------------------------------------------------------
+    repair = measure_event(injector, meter, LinkUp(time_s=660.0, a=a, b=b))
+    print(f"\nt=660s {a}=={b} restored "
+          f"({repair.messages} messages to reconverge)")
+    print(f"  route after repair: {route(service, src, dst)}")
+
+    recovered = service.simulate_internal_stream(src, dst, rng=rng)
+    media = MediaImpact(
+        steady=steady, failover=failover, recovered=recovered, window_s=window
+    )
+    print(f"\n{media.summary()}")
+    print(
+        "\nThe overlay healed on its own: the L2 mesh rerouted around the"
+        "\ncut, no prefix was left blackholed, and the stream's loss spike"
+        "\nlasted only the failover window — then steady state again."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,16 @@ def decision_order(routes: Sequence[Route], ctx: DecisionContext) -> list[Route]
         return []
     survivors = list(routes)
 
+    # 0. Next-hop resolvability (RFC 4271 §9.1.2): a route whose next hop
+    #    the IGP cannot reach is ineligible.  Applied only while some
+    #    candidate *is* reachable — a speaker whose whole IGP view is gone
+    #    (an out-of-band reflector at a failed PoP) keeps its table rather
+    #    than withdrawing the world, and a prefix whose every egress is
+    #    stranded stays visibly routed-but-blackholed instead of vanishing.
+    reachable = [r for r in survivors if ctx.igp_metric(r.next_hop) != float("inf")]
+    if reachable:
+        survivors = reachable
+
     # 1. Highest LOCAL_PREF.
     survivors = _stage_max(survivors, lambda r: r.local_pref)
     # 2. Shortest AS_PATH.

@@ -12,7 +12,7 @@ simulation can inspect exactly what the AS announces to the outside.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from collections.abc import Iterable
 
 from repro.bgp.messages import Message
@@ -20,7 +20,37 @@ from repro.bgp.router import BgpRouter
 
 
 class ConvergenceError(RuntimeError):
-    """Raised when the engine exceeds its message budget."""
+    """Raised when the engine exceeds its message budget.
+
+    Carries a snapshot of the engine state so a non-converging fault
+    scenario can be debugged from the exception alone:
+
+    Attributes
+    ----------
+    delivered:
+        Messages delivered before giving up.
+    pending:
+        Messages still queued.
+    queue_depths:
+        Pending-message count per receiver, deepest queues first.
+    last_message:
+        The last message delivered (``None`` if none were).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        delivered: int = 0,
+        pending: int = 0,
+        queue_depths: dict[str, int] | None = None,
+        last_message: Message | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.delivered = delivered
+        self.pending = pending
+        self.queue_depths = dict(queue_depths or {})
+        self.last_message = last_message
 
 
 class BgpEngine:
@@ -31,6 +61,7 @@ class BgpEngine:
         self.queue: deque[Message] = deque()
         self.external_outbox: list[Message] = []
         self.delivered = 0
+        self.last_delivered: Message | None = None
 
     def add_router(self, router: BgpRouter) -> None:
         """Register a router.
@@ -74,6 +105,7 @@ class BgpEngine:
             return False
         message = self.queue.popleft()
         self.delivered += 1
+        self.last_delivered = message
         receiver = self.routers.get(message.receiver)
         if receiver is None:
             self.external_outbox.append(message)
@@ -96,7 +128,22 @@ class BgpEngine:
             self.step()
             count += 1
             if count > max_messages:
+                depths = self.pending_by_receiver()
+                deepest = ", ".join(
+                    f"{receiver}:{depth}"
+                    for receiver, depth in list(depths.items())[:5]
+                )
                 raise ConvergenceError(
                     f"no convergence after {max_messages} messages"
+                    f" ({len(self.queue)} still pending; deepest queues"
+                    f" [{deepest}]; last delivered: {self.last_delivered})",
+                    delivered=count,
+                    pending=len(self.queue),
+                    queue_depths=depths,
+                    last_message=self.last_delivered,
                 )
         return count
+
+    def pending_by_receiver(self) -> dict[str, int]:
+        """Pending-message count per receiver, deepest queues first."""
+        return dict(Counter(m.receiver for m in self.queue).most_common())

@@ -1,4 +1,12 @@
-"""BGP UPDATE messages (announcements and withdrawals)."""
+"""BGP UPDATE messages (announcements and withdrawals).
+
+Also defines :class:`IgpNotification`, the intra-router event the IGP
+delivers when its topology view changes: real speakers re-validate BGP
+next hops and re-run selection when SPF moves (next-hop tracking / the
+BGP scanner).  Modelling it as a queued message rather than a synchronous
+callback means remote routers react in delivery order, which is what
+creates an observable window of stale forwarding decisions after a fault.
+"""
 
 from __future__ import annotations
 
@@ -36,5 +44,16 @@ class Withdraw:
         return f"WITHDRAW {self.sender}->{self.receiver}: {self.prefix}"
 
 
-#: Either message kind.
-Message = Update | Withdraw
+@dataclass(frozen=True, slots=True)
+class IgpNotification:
+    """The IGP tells one speaker that next-hop reachability/costs changed."""
+
+    receiver: str
+    sender: str = "igp"
+
+    def __str__(self) -> str:
+        return f"IGP-EVENT ->{self.receiver}"
+
+
+#: Any message kind the engine delivers.
+Message = Update | Withdraw | IgpNotification

@@ -19,7 +19,7 @@ from dataclasses import replace
 
 from repro.bgp.attributes import DEFAULT_LOCAL_PREF, NO_EXPORT, AsPath, Origin, Route
 from repro.bgp.decision import DecisionContext, best_external, best_route
-from repro.bgp.messages import Message, Update, Withdraw
+from repro.bgp.messages import IgpNotification, Message, Update, Withdraw
 from repro.bgp.policy import (
     AcceptAll,
     ExportAll,
@@ -74,6 +74,9 @@ class BgpRouter:
         self.export_policy = export_policy or ExportAll()
         self.enable_best_external = enable_best_external
         self.sessions: dict[str, Session] = {}
+        #: Sessions administratively/operationally down (fault injection);
+        #: configuration is retained so the session can come back.
+        self.down_sessions: set[str] = set()
         self.adj_rib_in = AdjRib()
         self.adj_rib_out = AdjRib()
         self.loc_rib = LocRib()
@@ -111,6 +114,54 @@ class BgpRouter:
     def set_igp_metric_fn(self, fn: Callable[[str], float]) -> None:
         """Install the IGP metric callback (e.g. after SPF is computed)."""
         self._igp_metric = fn
+
+    def fail_session(
+        self, peer_id: str
+    ) -> tuple[dict[Prefix, Route], list[Message]]:
+        """Take the session to ``peer_id`` down (link/peer failure).
+
+        Every route learned from the peer is invalidated and the decision
+        process re-runs for the affected prefixes, exactly as if the peer
+        had withdrawn them; state advertised *to* the peer is flushed.
+        Returns the dropped Adj-RIB-In snapshot (so a later
+        :meth:`restore_session` can replay the peer's table without
+        re-modelling the neighbour) and the triggered messages.
+
+        Raises
+        ------
+        KeyError
+            If no session to that peer is configured.
+        """
+        self.session_to(peer_id)  # validates
+        self.down_sessions.add(peer_id)
+        snapshot = self.adj_rib_in.drop_peer(peer_id)
+        self.adj_rib_out.drop_peer(peer_id)
+        messages: list[Message] = []
+        for prefix in sorted(snapshot):
+            messages.extend(self._decide(prefix))
+        return snapshot, messages
+
+    def restore_session(
+        self, peer_id: str, routes: dict[Prefix, Route]
+    ) -> list[Message]:
+        """Bring the session to ``peer_id`` back with the peer's table.
+
+        ``routes`` is typically the snapshot :meth:`fail_session`
+        returned (the neighbour re-sends what it had).  The full
+        advertisement recomputation also replays this speaker's own table
+        toward the restored peer — the initial transfer of session
+        re-establishment.
+
+        Raises
+        ------
+        KeyError
+            If no session to that peer is configured.
+        """
+        self.session_to(peer_id)  # validates
+        self.down_sessions.discard(peer_id)
+        for route in routes.values():
+            self.adj_rib_in.update(peer_id, route)
+        return self.refresh_advertisements()
 
     # ------------------------------------------------------------------ #
     # route origination and message processing
@@ -171,7 +222,13 @@ class BgpRouter:
         KeyError
             If the message arrives from a peer with no configured session.
         """
+        if isinstance(message, IgpNotification):
+            # SPF moved: re-validate next hops and re-run selection for
+            # everything, exactly like next-hop tracking / the BGP scanner.
+            return self.refresh_advertisements()
         session = self.sessions[message.sender]
+        if message.sender in self.down_sessions:
+            return []  # in-flight message from a session that has failed
         if isinstance(message, Withdraw):
             removed = self.adj_rib_in.withdraw(message.sender, message.prefix)
             if removed is None:
@@ -269,6 +326,8 @@ class BgpRouter:
         desired: Route | None,
         messages: list[Message],
     ) -> None:
+        if peer_id in self.down_sessions:
+            return  # nothing crosses a down session
         current = self.adj_rib_out.route(peer_id, prefix)
         if desired is None:
             if current is not None:

@@ -252,3 +252,57 @@ class PathSegment:
     def __str__(self) -> str:
         suffix = f" [{self.label}]" if self.label else ""
         return f"{self.kind}:{self.distance_km:.0f}km{suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class DegradedSegment(PathSegment):
+    """A segment under an injected impairment (``repro.faults``).
+
+    Adds a constant loss probability and delay penalty on top of the
+    segment's own stochastic model — the "transit-path degradation"
+    fault: sustained congestion or a flapping underlay on an Internet
+    segment, which VNS's dedicated circuits are supposed to shield
+    users from.
+    """
+
+    extra_loss: float = 0.0
+    extra_delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.extra_loss < 1.0:
+            raise ValueError(f"extra_loss must be in [0, 1), got {self.extra_loss!r}")
+        if self.extra_delay_ms < 0.0:
+            raise ValueError(
+                f"extra_delay_ms must be non-negative, got {self.extra_delay_ms!r}"
+            )
+
+    # NB: explicit parent calls — ``slots=True`` dataclasses are re-created
+    # by the decorator, which breaks zero-argument ``super()``.
+    def delay_ms(self) -> float:
+        return PathSegment.delay_ms(self) + self.extra_delay_ms
+
+    def sample_slot_rates(
+        self,
+        n_slots: int,
+        hour_cet: float,
+        rng: np.random.Generator,
+        duration_s: float | None = None,
+    ) -> np.ndarray:
+        base = PathSegment.sample_slot_rates(self, n_slots, hour_cet, rng, duration_s)
+        return np.clip(base + self.extra_loss, 0.0, 0.95)
+
+
+def degrade_segment(
+    segment: PathSegment, *, extra_loss: float = 0.0, extra_delay_ms: float = 0.0
+) -> DegradedSegment:
+    """A copy of ``segment`` with an impairment stacked on top."""
+    return DegradedSegment(
+        kind=segment.kind,
+        start=segment.start,
+        end=segment.end,
+        as_type=segment.as_type,
+        owner_type=segment.owner_type,
+        label=segment.label,
+        extra_loss=extra_loss,
+        extra_delay_ms=extra_delay_ms,
+    )

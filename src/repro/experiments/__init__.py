@@ -19,6 +19,7 @@ fig10     Loss nature: loss vs lossy slots (Sec. 5.1.2)
 fig11     Last-mile loss and geography (Sec. 5.2.2)
 table1    Last-mile loss by AS type (Sec. 5.2.3)
 fig12     Diurnal loss patterns (Sec. 5.2.3)
+failover  Fault injection / failover suite (beyond the paper)
 ========  =====================================================
 """
 

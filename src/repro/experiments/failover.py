@@ -1,0 +1,169 @@
+"""Failover experiment: reconvergence cost and loss during failures.
+
+Not a paper figure — the paper measures the steady state its circuits buy
+— but the natural stress companion: run the canned fault scenarios of
+:mod:`repro.faults.scenarios` over one world and aggregate
+
+* the CDF of per-event reconvergence cost (BGP messages and the derived
+  failover-window seconds),
+* per-stream loss during failover vs steady state vs after recovery, and
+* blackhole-window sizes (cells routed-but-undeliverable mid-failover,
+  and any that survive convergence).
+
+Every scenario repairs itself, so the whole suite runs on one service
+deployment and leaves it converged and healthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import World, experiment_rng
+from repro.faults.recovery import EventImpact
+from repro.faults.scenarios import (
+    ScenarioResult,
+    flapping_upstream,
+    pop_failure,
+    regional_failure,
+    single_link_cut,
+    transit_degradation,
+)
+from repro.measurement.stats import Cdf
+from repro.vns.links import VNS_LONG_HAUL_LINKS
+
+#: Salt for this experiment's dedicated generator.
+RNG_SALT = 9090
+
+
+@dataclass(slots=True)
+class FailoverResult:
+    """Aggregated outcome of the scenario suite on one world."""
+
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+
+    def impacts(self) -> list[EventImpact]:
+        """Every measured fault event across all scenarios."""
+        return [impact for scenario in self.scenarios for impact in scenario.impacts]
+
+    def message_cdf(self) -> Cdf:
+        """CDF of per-event reconvergence message counts."""
+        return Cdf.of(float(impact.messages) for impact in self.impacts())
+
+    def window_cdf(self) -> Cdf:
+        """CDF of per-event failover-window seconds."""
+        return Cdf.of(impact.failover_window_s for impact in self.impacts())
+
+    def steady_loss_values(self) -> list[float]:
+        return [
+            s.media.steady_loss_percent for s in self.scenarios if s.media is not None
+        ]
+
+    def failover_loss_values(self) -> list[float]:
+        return [
+            s.media.failover_loss_percent
+            for s in self.scenarios
+            if s.media is not None
+        ]
+
+    def recovered_loss_values(self) -> list[float]:
+        return [
+            s.media.recovered_loss_percent
+            for s in self.scenarios
+            if s.media is not None
+        ]
+
+    def max_blackholes_during(self) -> int:
+        """Largest mid-failover blackhole set over all events."""
+        return max(
+            (len(impact.blackholes_during) for impact in self.impacts()), default=0
+        )
+
+    def permanent_blackhole_count(self) -> int:
+        """Blackholes still present after each scenario's final repair."""
+        return sum(len(s.permanent_blackholes) for s in self.scenarios)
+
+
+def run(
+    world: World,
+    *,
+    corridors: tuple[tuple[str, str], ...] | None = None,
+    include_pop_failure: bool = True,
+    include_regional: bool = True,
+    include_flapping: bool = True,
+    include_degradation: bool = True,
+    flaps: int = 2,
+    prefix_limit: int = 32,
+) -> FailoverResult:
+    """Run the fault-scenario suite over ``world``.
+
+    ``corridors`` defaults to every long-haul circuit — each gets its own
+    cut-and-repair scenario, which is what populates the reconvergence
+    CDF.  The service is restored to health between and after scenarios.
+    """
+    rng = experiment_rng(world, RNG_SALT)
+    service = world.service
+    if corridors is None:
+        corridors = VNS_LONG_HAUL_LINKS
+    result = FailoverResult()
+    for corridor in corridors:
+        result.scenarios.append(
+            single_link_cut(
+                service, rng, corridor=corridor, prefix_limit=prefix_limit
+            )
+        )
+    if include_pop_failure:
+        result.scenarios.append(
+            pop_failure(service, rng, prefix_limit=prefix_limit)
+        )
+    if include_regional:
+        result.scenarios.append(
+            regional_failure(service, rng, prefix_limit=prefix_limit)
+        )
+    if include_flapping:
+        result.scenarios.append(
+            flapping_upstream(service, rng, flaps=flaps, prefix_limit=prefix_limit)
+        )
+    if include_degradation:
+        result.scenarios.append(
+            transit_degradation(service, rng, prefix_limit=prefix_limit)
+        )
+    return result
+
+
+def render(result: FailoverResult) -> str:
+    """The failover summary as rows."""
+    lines = ["Failover — reconvergence cost and loss under faults"]
+    lines.append(
+        "  scenario                                  msgs   bh-during  bh-perm"
+        "  loss steady->failover->recovered"
+    )
+    for scenario in result.scenarios:
+        during = max(
+            (len(i.blackholes_during) for i in scenario.impacts), default=0
+        )
+        media = scenario.media
+        loss = (
+            f"{media.steady_loss_percent:5.2f}% ->{media.failover_loss_percent:6.2f}%"
+            f" ->{media.recovered_loss_percent:5.2f}%"
+            if media is not None
+            else "        (control plane only)"
+        )
+        lines.append(
+            f"  {scenario.name:<41} {scenario.total_messages:5d}"
+            f"   {during:7d}  {len(scenario.permanent_blackholes):7d}  {loss}"
+        )
+    message_cdf = result.message_cdf()
+    window_cdf = result.window_cdf()
+    lines.append(
+        "  reconvergence msgs/event: "
+        f"p50={message_cdf.quantile(0.5):.0f}"
+        f" p90={message_cdf.quantile(0.9):.0f}"
+        f" max={message_cdf.quantile(1.0):.0f}"
+    )
+    lines.append(
+        "  failover window (s):      "
+        f"p50={window_cdf.quantile(0.5):.2f}"
+        f" p90={window_cdf.quantile(0.9):.2f}"
+        f" max={window_cdf.quantile(1.0):.2f}"
+    )
+    return "\n".join(lines)

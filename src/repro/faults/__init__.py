@@ -1,0 +1,84 @@
+"""Fault injection and failover measurement for the VNS overlay.
+
+The paper's network is engineered for steady-state quality — dedicated
+circuits, cold-potato egress, anycast entry.  This subpackage asks what
+happens when pieces of it break:
+
+* :mod:`~repro.faults.events` — typed fault events (circuit cut, PoP
+  loss, eBGP session flap, transit degradation) on a deterministic
+  simulated timeline driven by a seeded generator,
+* :mod:`~repro.faults.injector` — applies events to the live network:
+  IGP re-runs SPF, border routers withdraw and re-advertise through the
+  real BGP machinery, every fault has an exact inverse,
+* :mod:`~repro.faults.recovery` — convergence cost, egress churn, the
+  blackhole window, and the loss an in-flight media stream eats,
+* :mod:`~repro.faults.scenarios` — canned scenarios: single long-haul
+  cut, whole-PoP failure with anycast re-catchment, correlated regional
+  failure, flapping upstream, pure data-plane transit degradation.
+"""
+
+from repro.faults.events import (
+    FaultEvent,
+    FaultTimeline,
+    LinkDown,
+    LinkUp,
+    PopDown,
+    PopUp,
+    SessionDown,
+    SessionUp,
+    SimulatedClock,
+    TransitDegrade,
+    TransitRestore,
+    random_flap_timeline,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import (
+    EventImpact,
+    ImpactMeter,
+    MediaImpact,
+    RoutingSnapshot,
+    failover_window_s,
+    measure_event,
+    overlay_outage,
+    prefix_sample,
+)
+from repro.faults.scenarios import (
+    ScenarioResult,
+    flapping_upstream,
+    pop_failure,
+    regional_failure,
+    resolve_corridor,
+    single_link_cut,
+    transit_degradation,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultTimeline",
+    "LinkDown",
+    "LinkUp",
+    "PopDown",
+    "PopUp",
+    "SessionDown",
+    "SessionUp",
+    "SimulatedClock",
+    "TransitDegrade",
+    "TransitRestore",
+    "random_flap_timeline",
+    "FaultInjector",
+    "EventImpact",
+    "ImpactMeter",
+    "MediaImpact",
+    "RoutingSnapshot",
+    "failover_window_s",
+    "measure_event",
+    "overlay_outage",
+    "prefix_sample",
+    "ScenarioResult",
+    "flapping_upstream",
+    "pop_failure",
+    "regional_failure",
+    "resolve_corridor",
+    "single_link_cut",
+    "transit_degradation",
+]

@@ -1,0 +1,241 @@
+"""Typed fault events on a deterministic simulated timeline.
+
+The subsystem is a discrete-event perturbation layer: a timeline holds
+timestamped fault events (circuit down/up, PoP failure/restore, eBGP
+session flap, transit-path degradation), a :class:`SimulatedClock` tracks
+simulated seconds (never wall time), and every stochastic choice is drawn
+from a seeded ``numpy.random.Generator`` — two runs with the same seed
+produce the identical event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """Base class: something happens at ``time_s`` simulated seconds."""
+
+    time_s: float
+
+    def describe(self) -> str:
+        """One event-log line; subclasses refine the tail."""
+        return f"t={self.time_s:8.1f}s  {self._verb()}"
+
+    def _verb(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDown(FaultEvent):
+    """An inter-PoP L2 circuit fails (fibre cut, provider outage)."""
+
+    a: str
+    b: str
+
+    def _verb(self) -> str:
+        return f"link-down   {self.a}=={self.b}"
+
+
+@dataclass(frozen=True, slots=True)
+class LinkUp(FaultEvent):
+    """A previously failed circuit is repaired."""
+
+    a: str
+    b: str
+
+    def _verb(self) -> str:
+        return f"link-up     {self.a}=={self.b}"
+
+
+@dataclass(frozen=True, slots=True)
+class PopDown(FaultEvent):
+    """A whole PoP fails: circuits, eBGP sessions, and originations."""
+
+    pop: str
+
+    def _verb(self) -> str:
+        return f"pop-down    {self.pop}"
+
+
+@dataclass(frozen=True, slots=True)
+class PopUp(FaultEvent):
+    """A failed PoP is restored."""
+
+    pop: str
+
+    def _verb(self) -> str:
+        return f"pop-up      {self.pop}"
+
+
+@dataclass(frozen=True, slots=True)
+class SessionDown(FaultEvent):
+    """eBGP sessions to neighbour ``asn`` fail.
+
+    ``router_id`` limits the failure to one session endpoint; ``None``
+    takes down every session VNS has with that neighbour (the neighbour's
+    side failed).
+    """
+
+    asn: int
+    router_id: str | None = None
+
+    def _verb(self) -> str:
+        where = self.router_id or "all-sessions"
+        return f"ebgp-down   AS{self.asn}@{where}"
+
+
+@dataclass(frozen=True, slots=True)
+class SessionUp(FaultEvent):
+    """Failed eBGP sessions to ``asn`` re-establish (table replay)."""
+
+    asn: int
+    router_id: str | None = None
+
+    def _verb(self) -> str:
+        where = self.router_id or "all-sessions"
+        return f"ebgp-up     AS{self.asn}@{where}"
+
+
+@dataclass(frozen=True, slots=True)
+class TransitDegrade(FaultEvent):
+    """Loss/latency surge on Internet transit segments of one corridor.
+
+    ``regions`` are :class:`~repro.geo.regions.WorldRegion` values (the
+    two endpoint regions of the affected corridor; equal values mean an
+    intra-region surge).  Purely a data-plane fault: BGP keeps the path,
+    packets suffer — the failure mode VNS's circuits exist to avoid.
+    """
+
+    regions: tuple[str, str]
+    extra_loss: float = 0.02
+    extra_delay_ms: float = 0.0
+
+    def _verb(self) -> str:
+        return (
+            f"degrade     {self.regions[0]}~{self.regions[1]} "
+            f"(+{self.extra_loss * 100:.1f}% loss, +{self.extra_delay_ms:.0f} ms)"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TransitRestore(FaultEvent):
+    """The corridor degradation clears."""
+
+    regions: tuple[str, str]
+
+    def _verb(self) -> str:
+        return f"restore     {self.regions[0]}~{self.regions[1]}"
+
+
+@dataclass(slots=True)
+class SimulatedClock:
+    """Simulated seconds; strictly monotonic, never wall time."""
+
+    now_s: float = 0.0
+
+    def advance_to(self, time_s: float) -> None:
+        """Move the clock forward.
+
+        Raises
+        ------
+        ValueError
+            If ``time_s`` is in the past.
+        """
+        if time_s < self.now_s:
+            raise ValueError(
+                f"clock cannot go backwards ({time_s} < {self.now_s})"
+            )
+        self.now_s = time_s
+
+
+@dataclass(slots=True)
+class FaultTimeline:
+    """An ordered sequence of fault events.
+
+    Events sort by time; ties keep insertion order (so a scenario that
+    cuts two links "simultaneously" applies them in the order written).
+    """
+
+    _events: list[FaultEvent] = field(default_factory=list)
+
+    def add(self, event: FaultEvent) -> "FaultTimeline":
+        """Insert an event, keeping the timeline sorted (returns self)."""
+        self._events.append(event)
+        self._events.sort(key=lambda e: e.time_s)  # stable: ties keep order
+        return self
+
+    def extend(self, events: Iterable[FaultEvent]) -> "FaultTimeline":
+        for event in events:
+            self.add(event)
+        return self
+
+    def events(self) -> tuple[FaultEvent, ...]:
+        return tuple(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def end_s(self) -> float:
+        """Time of the last event (0 for an empty timeline)."""
+        return self._events[-1].time_s if self._events else 0.0
+
+    def describe(self) -> tuple[str, ...]:
+        """The deterministic event log, one line per event."""
+        return tuple(event.describe() for event in self._events)
+
+
+def random_flap_timeline(
+    rng: np.random.Generator,
+    *,
+    links: tuple[tuple[str, str], ...],
+    duration_s: float = 3600.0,
+    failures_per_hour: float = 2.0,
+    mean_repair_s: float = 120.0,
+    start_s: float = 0.0,
+) -> FaultTimeline:
+    """A random sequence of link failures with exponential repair times.
+
+    Failures arrive as a Poisson process over the whole link set; each
+    down event is paired with an up event after an exponential repair
+    time (clamped so everything is repaired by ``duration_s``).  Only the
+    seeded ``rng`` drives the draws, so the timeline is reproducible.
+
+    Raises
+    ------
+    ValueError
+        For an empty link set or non-positive duration.
+    """
+    if not links:
+        raise ValueError("need at least one link to flap")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s!r}")
+    timeline = FaultTimeline()
+    mean_gap_s = 3600.0 / failures_per_hour
+    t = start_s
+    repaired_at: dict[frozenset[str], float] = {}
+    while True:
+        t += float(rng.exponential(mean_gap_s))
+        if t >= start_s + duration_s:
+            break
+        index = int(rng.integers(len(links)))
+        a, b = links[index]
+        key = frozenset((a, b))
+        if t < repaired_at.get(key, start_s):
+            continue  # still down from an earlier failure; no double-fail
+        repair = min(
+            float(rng.exponential(mean_repair_s)),
+            start_s + duration_s - t,
+        )
+        repaired_at[key] = t + repair
+        timeline.add(LinkDown(time_s=t, a=a, b=b))
+        timeline.add(LinkUp(time_s=t + repair, a=a, b=b))
+    return timeline

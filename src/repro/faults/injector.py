@@ -1,0 +1,246 @@
+"""Applying fault events to a live, converged VNS.
+
+Each event perturbs the real objects — the IGP graph loses the link and
+SPF re-runs, border routers tear eBGP sessions down and issue the
+resulting withdraws through the engine, originations are pulled — and
+then BGP runs to convergence, message by message.  The injector separates
+*perturbation* (state applied, updates enqueued) from *convergence* so a
+meter can observe the mid-failover window where routers still forward on
+stale decisions: that window is where blackholes and media loss live.
+
+Every fault is reversible; applying a down/up pair returns the network to
+its exact pre-fault routing state, which is what makes repeated scenario
+runs on one world deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import Route
+from repro.bgp.messages import IgpNotification
+from repro.dataplane.link import SegmentKind, degrade_segment
+from repro.dataplane.path import DataPath
+from repro.faults.events import (
+    FaultEvent,
+    LinkDown,
+    LinkUp,
+    PopDown,
+    PopUp,
+    SessionDown,
+    SessionUp,
+    SimulatedClock,
+    TransitDegrade,
+    TransitRestore,
+)
+from repro.net.addressing import Prefix
+from repro.vns.network import external_peer_id
+from repro.vns.service import VideoNetworkService
+
+
+@dataclass(slots=True)
+class _PopSnapshot:
+    """What a failed PoP needs to come back: sessions and originations."""
+
+    sessions: dict[tuple[str, str], dict[Prefix, Route]] = field(default_factory=dict)
+    originated: dict[str, dict[Prefix, Route]] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Applies :mod:`repro.faults.events` to a :class:`VideoNetworkService`.
+
+    Parameters
+    ----------
+    service:
+        The converged service to perturb.  The injector mutates it in
+        place; every supported event has an inverse that restores the
+        original state.
+    """
+
+    def __init__(self, service: VideoNetworkService) -> None:
+        self.service = service
+        self.clock = SimulatedClock()
+        self.event_log: list[str] = []
+        self.degradations: list[TransitDegrade] = []
+        self._session_snapshots: dict[tuple[str, str], dict[Prefix, Route]] = {}
+        self._pop_snapshots: dict[str, _PopSnapshot] = {}
+
+    # ----------------------------------------------------------------- #
+    # event application
+    # ----------------------------------------------------------------- #
+
+    def perturb(self, event: FaultEvent) -> None:
+        """Apply ``event``: mutate state and enqueue the triggered updates.
+
+        Advances the simulated clock to the event time.  Does *not* run
+        the BGP engine — call :meth:`converge` (or use :meth:`apply`)
+        afterwards; in between, the network is mid-failover.
+
+        Raises
+        ------
+        TypeError
+            For an event kind the injector does not know.
+        ValueError
+            For impossible transitions (unknown link, clock regression).
+        """
+        self.clock.advance_to(event.time_s)
+        self.event_log.append(event.describe())
+        if isinstance(event, LinkDown):
+            self._set_link(event.a, event.b, up=False)
+        elif isinstance(event, LinkUp):
+            self._set_link(event.a, event.b, up=True)
+        elif isinstance(event, PopDown):
+            self._pop_down(event.pop)
+        elif isinstance(event, PopUp):
+            self._pop_up(event.pop)
+        elif isinstance(event, SessionDown):
+            self._sessions_down(event.asn, event.router_id)
+        elif isinstance(event, SessionUp):
+            self._sessions_up(event.asn, event.router_id)
+        elif isinstance(event, TransitDegrade):
+            self.degradations.append(event)
+        elif isinstance(event, TransitRestore):
+            self.degradations = [
+                d for d in self.degradations if d.regions != event.regions
+            ]
+        else:
+            raise TypeError(f"unknown fault event {event!r}")
+
+    def converge(self, max_messages: int = 10_000_000) -> int:
+        """Run BGP to convergence; return messages delivered.
+
+        Raises
+        ------
+        repro.bgp.engine.ConvergenceError
+            If the engine exceeds its budget (diagnosable from the
+            exception's queue snapshot).
+        """
+        return self.service.network.engine.run(max_messages=max_messages)
+
+    def apply(self, event: FaultEvent) -> int:
+        """Perturb and immediately converge; return messages delivered."""
+        self.perturb(event)
+        return self.converge()
+
+    # ----------------------------------------------------------------- #
+    # data-plane impairments
+    # ----------------------------------------------------------------- #
+
+    def impaired_path(self, path: DataPath) -> DataPath:
+        """``path`` with all active transit degradations stacked on.
+
+        Transit segments whose endpoint-region pair matches an active
+        degradation get the extra loss/delay; other segments (and VNS's
+        own circuits) pass through untouched.
+        """
+        if not self.degradations:
+            return path
+        segments = []
+        for segment in path.segments:
+            extra_loss = 0.0
+            extra_delay = 0.0
+            if segment.kind is SegmentKind.TRANSIT:
+                corridor = {segment.start_region.value, segment.end_region.value}
+                for d in self.degradations:
+                    if corridor == set(d.regions):
+                        extra_loss += d.extra_loss
+                        extra_delay += d.extra_delay_ms
+            if extra_loss or extra_delay:
+                segments.append(
+                    degrade_segment(
+                        segment,
+                        extra_loss=min(extra_loss, 0.95),
+                        extra_delay_ms=extra_delay,
+                    )
+                )
+            else:
+                segments.append(segment)
+        return DataPath(segments=segments, description=path.description)
+
+    # ----------------------------------------------------------------- #
+    # internals
+    # ----------------------------------------------------------------- #
+
+    def _refresh_all(self) -> None:
+        """Queue an IGP-change notification for every speaker.
+
+        Deliberately *not* synchronous: each router re-validates next hops
+        only when its notification is delivered, so the snapshot taken
+        between :meth:`perturb` and :meth:`converge` sees the stale
+        forwarding decisions a real network forwards on mid-failover.
+        """
+        network = self.service.network
+        network.engine.inject(
+            [IgpNotification(receiver=rid) for rid in sorted(network.border_routers)]
+        )
+        network.engine.inject(
+            [IgpNotification(receiver=rid) for rid in sorted(network.reflectors)]
+        )
+
+    def _set_link(self, a: str, b: str, *, up: bool) -> None:
+        if self.service.network.set_link_state(a, b, up):
+            # IGP metrics moved: hot-potato tie-breaks may flip anywhere.
+            self._refresh_all()
+
+    def _sessions_down(self, asn: int, router_id: str | None) -> None:
+        network = self.service.network
+        router_ids = self.service.deployment.sessions.get(asn, [])
+        if router_id is not None:
+            router_ids = [r for r in router_ids if r == router_id]
+        for rid in router_ids:
+            peer_id = external_peer_id(asn, rid)
+            key = (rid, peer_id)
+            if key in self._session_snapshots:
+                continue  # already down
+            router = network.border_routers[rid]
+            snapshot, messages = router.fail_session(peer_id)
+            self._session_snapshots[key] = snapshot
+            network.engine.inject(messages)
+
+    def _sessions_up(self, asn: int, router_id: str | None) -> None:
+        network = self.service.network
+        router_ids = self.service.deployment.sessions.get(asn, [])
+        if router_id is not None:
+            router_ids = [r for r in router_ids if r == router_id]
+        for rid in router_ids:
+            peer_id = external_peer_id(asn, rid)
+            snapshot = self._session_snapshots.pop((rid, peer_id), None)
+            if snapshot is None:
+                continue  # was not down
+            router = network.border_routers[rid]
+            network.engine.inject(router.restore_session(peer_id, snapshot))
+
+    def _pop_down(self, pop_code: str) -> None:
+        network = self.service.network
+        if not network.set_pop_state(pop_code, up=False):
+            return
+        snapshot = _PopSnapshot()
+        for router in network.routers_at_pop(pop_code):
+            originated = dict(router.originated)
+            snapshot.originated[router.router_id] = originated
+            for prefix in sorted(originated):
+                network.engine.inject(router.withdraw_origination(prefix))
+            for peer_id, session in sorted(router.sessions.items()):
+                if not session.is_ebgp or peer_id in router.down_sessions:
+                    continue
+                peer_snapshot, messages = router.fail_session(peer_id)
+                snapshot.sessions[(router.router_id, peer_id)] = peer_snapshot
+                network.engine.inject(messages)
+        self._pop_snapshots[pop_code] = snapshot
+        self._refresh_all()
+
+    def _pop_up(self, pop_code: str) -> None:
+        network = self.service.network
+        if not network.set_pop_state(pop_code, up=True):
+            return
+        snapshot = self._pop_snapshots.pop(pop_code, _PopSnapshot())
+        for (rid, peer_id), peer_snapshot in sorted(snapshot.sessions.items()):
+            router = network.border_routers[rid]
+            network.engine.inject(router.restore_session(peer_id, peer_snapshot))
+        for rid, originated in sorted(snapshot.originated.items()):
+            router = network.border_routers[rid]
+            for prefix, route in sorted(originated.items()):
+                network.engine.inject(
+                    router.originate(prefix, communities=route.communities)
+                )
+        self._refresh_all()

@@ -1,0 +1,323 @@
+"""Convergence and impact metrics for fault scenarios.
+
+Three lenses on one fault:
+
+* **Control plane** — how many BGP messages until the network is quiet
+  again, and which (entry PoP, prefix) decisions moved to a different
+  egress.
+* **Reachability** — the *blackhole window*: decisions that still name an
+  egress while the fault is being digested, but whose traffic cannot be
+  delivered (egress PoP down, internal path partitioned, or the external
+  route gone).  Measured mid-failover (after the perturbation, before
+  convergence) and again after convergence; a blackhole that survives
+  convergence is permanent.
+* **Media** — what an in-flight RTP stream experiences: the failover
+  window maps to fully lost slots overlaid on the post-fault path's own
+  loss process.
+
+Everything here only reads the network; the perturbation itself is the
+:class:`~repro.faults.injector.FaultInjector`'s job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataplane.transmit import StreamResult
+from repro.faults.events import FaultEvent
+from repro.faults.injector import FaultInjector
+from repro.net.addressing import Prefix
+from repro.vns.service import VideoNetworkService
+
+#: Seconds to *detect* a fault (BFD / hold-timer expiry) before BGP reacts.
+DETECTION_S = 1.0
+
+#: Seconds of propagation + processing per BGP message delivered.  The
+#: engine counts messages, not time; this constant converts the count into
+#: a simulated failover duration.  Real iBGP convergence is dominated by
+#: MRAI/processing batches, so the per-message cost is small.
+PER_MESSAGE_S = 0.005
+
+
+@dataclass(frozen=True, slots=True)
+class RouteState:
+    """What one entry PoP believes about one prefix at snapshot time."""
+
+    egress_pop: str | None  #: ``None`` when the entry has no route at all
+    deliverable: bool  #: route exists *and* traffic actually arrives
+
+    @property
+    def blackholed(self) -> bool:
+        """Routed on paper, undeliverable in practice."""
+        return self.egress_pop is not None and not self.deliverable
+
+
+@dataclass(slots=True)
+class RoutingSnapshot:
+    """Routing state over the meter's (entry PoP × prefix) sample."""
+
+    states: dict[tuple[str, Prefix], RouteState] = field(default_factory=dict)
+
+    @property
+    def blackholes(self) -> frozenset[tuple[str, Prefix]]:
+        return frozenset(k for k, s in self.states.items() if s.blackholed)
+
+    @property
+    def unrouted(self) -> frozenset[tuple[str, Prefix]]:
+        return frozenset(
+            k for k, s in self.states.items() if s.egress_pop is None
+        )
+
+    def shifted_from(self, other: "RoutingSnapshot") -> frozenset[tuple[str, Prefix]]:
+        """Keys routed in both snapshots whose egress PoP differs."""
+        return frozenset(
+            key
+            for key, state in self.states.items()
+            if (before := other.states.get(key)) is not None
+            and before.egress_pop is not None
+            and state.egress_pop is not None
+            and state.egress_pop != before.egress_pop
+        )
+
+    def lost_from(self, other: "RoutingSnapshot") -> frozenset[tuple[str, Prefix]]:
+        """Keys routed in ``other`` but unrouted (or gone) here."""
+        return frozenset(
+            key
+            for key, before in other.states.items()
+            if before.egress_pop is not None
+            and (
+                key not in self.states or self.states[key].egress_pop is None
+            )
+        )
+
+
+class ImpactMeter:
+    """Samples forwarding state over a fixed (entry PoP × prefix) grid.
+
+    The grid is fixed at construction so before/during/after snapshots
+    line up key-for-key.  Entry PoPs that are down at snapshot time are
+    skipped — no traffic enters there, so they cannot blackhole anything.
+    """
+
+    def __init__(
+        self,
+        service: VideoNetworkService,
+        prefixes: tuple[Prefix, ...],
+        entry_pops: tuple[str, ...] | None = None,
+    ) -> None:
+        if not prefixes:
+            raise ValueError("need at least one prefix to meter")
+        self.service = service
+        self.prefixes = tuple(prefixes)
+        self.entry_pops = (
+            tuple(entry_pops)
+            if entry_pops is not None
+            else tuple(pop.code for pop in service.pops())
+        )
+
+    def snapshot(self) -> RoutingSnapshot:
+        """The current forwarding state of every grid cell."""
+        network = self.service.network
+        snap = RoutingSnapshot()
+        for entry in self.entry_pops:
+            if not network.pop_is_up(entry):
+                continue
+            for prefix in self.prefixes:
+                decision = network.egress_decision(entry, prefix)
+                if decision is None:
+                    snap.states[(entry, prefix)] = RouteState(None, False)
+                    continue
+                snap.states[(entry, prefix)] = RouteState(
+                    decision.egress_pop,
+                    self._deliverable(entry, decision.egress_pop, prefix),
+                )
+        return snap
+
+    def _deliverable(self, entry: str, egress: str, prefix: Prefix) -> bool:
+        """Would traffic actually make it out via this decision?"""
+        network = self.service.network
+        if not network.pop_is_up(egress):
+            return False
+        try:
+            network.pop_l2_path(entry, egress)
+        except ValueError:
+            return False  # internal partition: routed but unreachable
+        # The decision names an egress; the egress must still hold a live
+        # external route (a failed session empties its Adj-RIB-In).
+        return network.local_external_route(egress, prefix) is not None
+
+
+@dataclass(slots=True)
+class EventImpact:
+    """Everything one fault event did to the sampled forwarding state."""
+
+    event: FaultEvent
+    messages: int  #: BGP messages delivered to reconverge
+    shifted: frozenset[tuple[str, Prefix]]  #: egress PoP changed
+    blackholes_during: frozenset[tuple[str, Prefix]]  #: mid-failover
+    blackholes_after: frozenset[tuple[str, Prefix]]  #: survived convergence
+    routes_lost: frozenset[tuple[str, Prefix]]  #: routed → unrouted
+
+    @property
+    def failover_window_s(self) -> float:
+        """Simulated duration of the failover (see :func:`failover_window_s`)."""
+        return failover_window_s(self.messages)
+
+    def summary(self) -> str:
+        return (
+            f"{self.event.describe()}: {self.messages} msgs"
+            f" ({self.failover_window_s:.2f}s), {len(self.shifted)} shifted,"
+            f" {len(self.blackholes_during)} blackholed during,"
+            f" {len(self.blackholes_after)} after,"
+            f" {len(self.routes_lost)} lost"
+        )
+
+
+def measure_event(
+    injector: FaultInjector, meter: ImpactMeter, event: FaultEvent
+) -> EventImpact:
+    """Apply one event in stages and measure each stage.
+
+    Perturb (state applied, updates queued) → snapshot the mid-failover
+    window → converge → snapshot the settled state.  The *during*
+    snapshot is the interesting one: routers still forward on stale
+    decisions whose machinery is already gone.
+    """
+    before = meter.snapshot()
+    injector.perturb(event)
+    during = meter.snapshot()
+    messages = injector.converge()
+    after = meter.snapshot()
+    return EventImpact(
+        event=event,
+        messages=messages,
+        shifted=after.shifted_from(before),
+        blackholes_during=during.blackholes,
+        blackholes_after=after.blackholes,
+        routes_lost=after.lost_from(before),
+    )
+
+
+# --------------------------------------------------------------------- #
+# media impact
+# --------------------------------------------------------------------- #
+
+
+def failover_window_s(
+    messages: int,
+    *,
+    detection_s: float = DETECTION_S,
+    per_message_s: float = PER_MESSAGE_S,
+) -> float:
+    """Simulated seconds a fault disrupts forwarding.
+
+    Detection delay plus a per-message convergence cost — the engine is
+    untimed, so the message count is the clock.
+    """
+    if messages < 0:
+        raise ValueError(f"messages must be non-negative, got {messages!r}")
+    return detection_s + per_message_s * messages
+
+
+def overlay_outage(
+    result: StreamResult, window_s: float, *, slot_s: float = 5.0
+) -> StreamResult:
+    """``result`` with the first ``window_s`` seconds fully blacked out.
+
+    Models a stream in flight when the fault hits: until reconvergence
+    every packet is lost, after which the stream rides the (already
+    rerouted) path whose loss process ``result`` sampled.  Loss-free by
+    construction if ``window_s`` is 0.
+
+    Raises
+    ------
+    ValueError
+        For a negative window or non-positive slot length.
+    """
+    if window_s < 0:
+        raise ValueError(f"window_s must be non-negative, got {window_s!r}")
+    if slot_s <= 0:
+        raise ValueError(f"slot_s must be positive, got {slot_s!r}")
+    n_slots = result.n_slots
+    if n_slots == 0 or window_s == 0:
+        return result
+    packets_per_slot = result.packets_sent // n_slots
+    blanked = min(n_slots, math.ceil(window_s / slot_s))
+    slot_losses = result.slot_losses.copy()
+    slot_losses[:blanked] = packets_per_slot
+    return StreamResult(
+        packets_sent=result.packets_sent,
+        slot_losses=slot_losses,
+        jitter_p95_ms=result.jitter_p95_ms,
+        rtt_ms=result.rtt_ms,
+    )
+
+
+@dataclass(slots=True)
+class MediaImpact:
+    """Loss experienced by one media stream across a fault's lifetime."""
+
+    steady: StreamResult  #: pre-fault path, no fault
+    failover: StreamResult  #: post-fault path with the outage overlaid
+    recovered: StreamResult  #: after repair, back on the original path
+    window_s: float
+
+    @property
+    def steady_loss_percent(self) -> float:
+        return self.steady.loss_percent
+
+    @property
+    def failover_loss_percent(self) -> float:
+        return self.failover.loss_percent
+
+    @property
+    def recovered_loss_percent(self) -> float:
+        return self.recovered.loss_percent
+
+    @property
+    def excess_loss_percent(self) -> float:
+        """Loss attributable to the fault itself."""
+        return self.failover_loss_percent - self.steady_loss_percent
+
+    def summary(self) -> str:
+        return (
+            f"loss steady {self.steady_loss_percent:.2f}% ->"
+            f" failover {self.failover_loss_percent:.2f}%"
+            f" (window {self.window_s:.2f}s) ->"
+            f" recovered {self.recovered_loss_percent:.2f}%"
+        )
+
+
+def stream_percentile_jitter_delta(
+    impact: MediaImpact,
+) -> float:
+    """Jitter-p95 delta between failover and steady state (ms)."""
+    return impact.failover.jitter_p95_ms - impact.steady.jitter_p95_ms
+
+
+def prefix_sample(
+    prefixes: tuple[Prefix, ...] | list[Prefix],
+    *,
+    limit: int,
+) -> tuple[Prefix, ...]:
+    """A deterministic, evenly strided sample of at most ``limit`` prefixes.
+
+    Sorting first makes the sample a function of the prefix *set*, not of
+    iteration order — two worlds built from the same seed meter the same
+    cells.
+
+    Raises
+    ------
+    ValueError
+        For a non-positive limit.
+    """
+    if limit <= 0:
+        raise ValueError(f"limit must be positive, got {limit!r}")
+    ordered = sorted(prefixes)
+    if len(ordered) <= limit:
+        return tuple(ordered)
+    indices = np.linspace(0, len(ordered) - 1, num=limit).astype(int)
+    return tuple(ordered[i] for i in dict.fromkeys(indices))

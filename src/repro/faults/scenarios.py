@@ -1,0 +1,497 @@
+"""Canned failover scenarios on the VNS overlay.
+
+Each scenario perturbs a converged :class:`VideoNetworkService` with a
+deterministic fault timeline, measures control-plane reconvergence and
+the blackhole window with an :class:`~repro.faults.recovery.ImpactMeter`,
+rides a media stream through the failover, and then repairs everything —
+a scenario leaves the service exactly as it found it, so scenarios can
+run back to back on one world.
+
+The canned set mirrors the failure modes the paper's design guards
+against: a long-haul circuit cut (the L2 mesh reroutes), a whole-PoP loss
+(anycast re-catchment moves users to surviving PoPs), a correlated
+regional failure, a flapping upstream session, and a pure data-plane
+transit degradation (the case VNS's dedicated circuits exist to absorb).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataplane.link import SegmentKind
+from repro.dataplane.transmit import simulate_stream
+from repro.faults.events import (
+    LinkDown,
+    LinkUp,
+    PopDown,
+    PopUp,
+    SessionDown,
+    SessionUp,
+    TransitDegrade,
+    TransitRestore,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import (
+    EventImpact,
+    ImpactMeter,
+    MediaImpact,
+    failover_window_s,
+    measure_event,
+    overlay_outage,
+    prefix_sample,
+)
+from repro.geo.cities import region_of_point
+from repro.geo.regions import WorldRegion
+from repro.net.addressing import Prefix
+from repro.vns.service import VideoNetworkService
+
+#: Default prefix-sample size for impact metering.
+DEFAULT_PREFIX_LIMIT = 32
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """Everything one scenario measured."""
+
+    name: str
+    impacts: list[EventImpact]
+    media: MediaImpact | None
+    event_log: tuple[str, ...]
+    notes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_messages(self) -> int:
+        """BGP messages across every event (fail and repair)."""
+        return sum(impact.messages for impact in self.impacts)
+
+    @property
+    def permanent_blackholes(self) -> frozenset[tuple[str, Prefix]]:
+        """Blackholes still present after the *last* convergence."""
+        return self.impacts[-1].blackholes_after if self.impacts else frozenset()
+
+    def summary(self) -> list[str]:
+        lines = [f"scenario {self.name}: {self.total_messages} msgs total"]
+        lines.extend(impact.summary() for impact in self.impacts)
+        if self.media is not None:
+            lines.append(self.media.summary())
+        return lines
+
+
+def resolve_corridor(
+    service: VideoNetworkService, a: str, b: str
+) -> tuple[str, str]:
+    """The circuit to cut so that ``a``→``b`` traffic must reroute.
+
+    If a direct ``a``–``b`` circuit exists, that is the corridor.
+    Otherwise (e.g. AMS→ASH rides the LON==ASH trans-Atlantic circuit)
+    the corridor is the first long-haul link on the IGP shortest path —
+    falling back to the first hop if the path is all-regional.
+
+    Raises
+    ------
+    ValueError
+        If ``a`` and ``b`` have no internal path at all.
+    """
+    network = service.network
+    key = frozenset((a, b))
+    if any(frozenset((link.a, link.b)) == key for link in network.l2_links):
+        return (a, b)
+    long_haul = {
+        frozenset((link.a, link.b)) for link in network.l2_links if link.long_haul
+    }
+    path = network.pop_l2_path(a, b)
+    for x, y in zip(path, path[1:]):
+        if frozenset((x, y)) in long_haul:
+            return (x, y)
+    return (path[0], path[1])
+
+
+def _meter(
+    service: VideoNetworkService, prefix_limit: int
+) -> ImpactMeter:
+    prefixes = prefix_sample(
+        tuple(service.topology.prefix_location), limit=prefix_limit
+    )
+    return ImpactMeter(service, prefixes)
+
+
+def _stream(
+    service: VideoNetworkService,
+    src_pop: str,
+    dst_pop: str,
+    rng: np.random.Generator,
+):
+    return simulate_stream(service.vns_internal_path(src_pop, dst_pop), rng=rng)
+
+
+def single_link_cut(
+    service: VideoNetworkService,
+    rng: np.random.Generator,
+    *,
+    corridor: tuple[str, str] = ("AMS", "ASH"),
+    at_s: float = 60.0,
+    repair_after_s: float = 600.0,
+    prefix_limit: int = DEFAULT_PREFIX_LIMIT,
+) -> ScenarioResult:
+    """Cut the long-haul circuit carrying ``corridor`` traffic, then repair.
+
+    The flagship scenario: a mid-call fibre cut on the corridor's
+    long-haul circuit.  On the (biconnected) production mesh the IGP
+    reroutes instantly, BGP re-shuffles hot-potato egresses, no prefix is
+    left blackholed, and the in-flight stream eats a bounded outage.
+    """
+    src, dst = corridor
+    a, b = resolve_corridor(service, src, dst)
+    injector = FaultInjector(service)
+    meter = _meter(service, prefix_limit)
+
+    route_before = service.network.pop_l2_path(src, dst)
+    steady = _stream(service, src, dst, rng)
+
+    down = measure_event(injector, meter, LinkDown(time_s=at_s, a=a, b=b))
+    window = failover_window_s(down.messages)
+    try:
+        route_during = tuple(service.network.pop_l2_path(src, dst))
+        failover = overlay_outage(_stream(service, src, dst, rng), window)
+    except ValueError:
+        # The cut partitioned the corridor (SIN==SYD is Oceania's only
+        # circuit): the stream is down for the whole measurement window.
+        route_during = None
+        window = 5.0 * steady.n_slots
+        failover = overlay_outage(steady, window)
+
+    up = measure_event(
+        injector, meter, LinkUp(time_s=at_s + repair_after_s, a=a, b=b)
+    )
+    recovered = _stream(service, src, dst, rng)
+
+    return ScenarioResult(
+        name=f"single-link-cut:{a}=={b}",
+        impacts=[down, up],
+        media=MediaImpact(
+            steady=steady, failover=failover, recovered=recovered, window_s=window
+        ),
+        event_log=tuple(injector.event_log),
+        notes={
+            "corridor": (a, b),
+            "route_before": tuple(route_before),
+            "route_during": route_during,
+            "route_after": tuple(service.network.pop_l2_path(src, dst)),
+        },
+    )
+
+
+def pop_failure(
+    service: VideoNetworkService,
+    rng: np.random.Generator,
+    *,
+    pop: str = "SIN",
+    at_s: float = 60.0,
+    repair_after_s: float = 1800.0,
+    prefix_limit: int = DEFAULT_PREFIX_LIMIT,
+    media_corridor: tuple[str, str] = ("AMS", "HK"),
+    recatchment_users: int = 24,
+) -> ScenarioResult:
+    """Lose a whole PoP; anycast re-catchment moves its users elsewhere.
+
+    Besides the routing impact, samples user ASes and records how many
+    change entry PoP while the PoP is down (the anycast announcement from
+    the failed site is gone, so its catchment drains to survivors).  The
+    default media corridor AMS→HK normally rides AMS==SIN--HK and must
+    fall back to the trans-Atlantic + trans-Pacific circuits.
+
+    Note: losing SIN strands SYD (SIN–SYD is Oceania's only circuit), so
+    SYD-entry cells stay blackholed until repair — the one cut vertex in
+    the production topology, faithfully reported in the metrics.
+    """
+    injector = FaultInjector(service)
+    meter = _meter(service, prefix_limit)
+    src, dst = media_corridor
+
+    users = _user_sample(service, recatchment_users)
+    entry_before = _entries(service, users)
+    steady = _stream(service, src, dst, rng)
+
+    down = measure_event(injector, meter, PopDown(time_s=at_s, pop=pop))
+    entry_during = _entries(service, users)
+    window = failover_window_s(down.messages)
+    failover = overlay_outage(_stream(service, src, dst, rng), window)
+
+    up = measure_event(
+        injector, meter, PopUp(time_s=at_s + repair_after_s, pop=pop)
+    )
+    recovered = _stream(service, src, dst, rng)
+
+    moved = sum(
+        1
+        for asn in entry_before
+        if entry_before[asn] is not None
+        and entry_during.get(asn) != entry_before[asn]
+    )
+    served_by_failed = sum(1 for code in entry_before.values() if code == pop)
+    return ScenarioResult(
+        name=f"pop-failure:{pop}",
+        impacts=[down, up],
+        media=MediaImpact(
+            steady=steady, failover=failover, recovered=recovered, window_s=window
+        ),
+        event_log=tuple(injector.event_log),
+        notes={
+            "pop": pop,
+            "users_sampled": len(users),
+            "users_served_by_failed_pop": served_by_failed,
+            "users_recaught_elsewhere": moved,
+            "entry_after_matches_before": _entries(service, users) == entry_before,
+        },
+    )
+
+
+def regional_failure(
+    service: VideoNetworkService,
+    rng: np.random.Generator,
+    *,
+    links: tuple[tuple[str, str], ...] = (("SJS", "HK"), ("SJS", "TYO")),
+    at_s: float = 60.0,
+    stagger_s: float = 2.0,
+    repair_after_s: float = 3600.0,
+    prefix_limit: int = DEFAULT_PREFIX_LIMIT,
+    media_corridor: tuple[str, str] = ("SJS", "TYO"),
+) -> ScenarioResult:
+    """Correlated failure of several circuits in quick succession.
+
+    The default cuts both trans-Pacific circuits seconds apart (a shared
+    seismic/cable event); AP traffic squeezes onto the remaining
+    SIN==SJS circuit.  Repairs land in reverse order.
+    """
+    injector = FaultInjector(service)
+    meter = _meter(service, prefix_limit)
+    src, dst = media_corridor
+
+    steady = _stream(service, src, dst, rng)
+    impacts = [
+        measure_event(
+            injector, meter, LinkDown(time_s=at_s + i * stagger_s, a=a, b=b)
+        )
+        for i, (a, b) in enumerate(links)
+    ]
+    window = failover_window_s(sum(impact.messages for impact in impacts))
+    failover = overlay_outage(_stream(service, src, dst, rng), window)
+
+    repair_start = at_s + repair_after_s
+    impacts.extend(
+        measure_event(
+            injector, meter, LinkUp(time_s=repair_start + i * stagger_s, a=a, b=b)
+        )
+        for i, (a, b) in enumerate(reversed(links))
+    )
+    recovered = _stream(service, src, dst, rng)
+
+    return ScenarioResult(
+        name="regional-failure:" + "+".join(f"{a}=={b}" for a, b in links),
+        impacts=impacts,
+        media=MediaImpact(
+            steady=steady, failover=failover, recovered=recovered, window_s=window
+        ),
+        event_log=tuple(injector.event_log),
+        notes={"links": links},
+    )
+
+
+def flapping_upstream(
+    service: VideoNetworkService,
+    rng: np.random.Generator,
+    *,
+    pop: str = "LON",
+    flaps: int = 3,
+    at_s: float = 60.0,
+    down_s: float = 30.0,
+    up_s: float = 90.0,
+    prefix_limit: int = DEFAULT_PREFIX_LIMIT,
+) -> ScenarioResult:
+    """An eBGP upstream session flaps repeatedly at one PoP.
+
+    Uses the PoP's designated main upstream (at LON: the US-based Tier-1
+    of the Sec. 5.2.2 anomaly).  Each flap withdraws and then replays a
+    full table — the repeated-convergence cost shows up as a per-flap
+    message bill, and the final state must equal the initial one.
+    """
+    if flaps < 1:
+        raise ValueError(f"flaps must be positive, got {flaps!r}")
+    asn = service.deployment.main_upstream_at[pop]
+    router_ids = [
+        rid
+        for rid in service.deployment.sessions.get(asn, [])
+        if service.network.pop_of_router[rid] == pop
+    ]
+    if not router_ids:
+        raise ValueError(f"upstream AS{asn} has no session at {pop}")
+    router_id = router_ids[0]
+    injector = FaultInjector(service)
+    meter = _meter(service, prefix_limit)
+    baseline = meter.snapshot()
+
+    impacts: list[EventImpact] = []
+    t = at_s
+    for _ in range(flaps):
+        impacts.append(
+            measure_event(
+                injector,
+                meter,
+                SessionDown(time_s=t, asn=asn, router_id=router_id),
+            )
+        )
+        impacts.append(
+            measure_event(
+                injector,
+                meter,
+                SessionUp(time_s=t + down_s, asn=asn, router_id=router_id),
+            )
+        )
+        t += down_s + up_s
+    final = meter.snapshot()
+    # rng is accepted for interface symmetry; the control-plane flap is
+    # deterministic and carries no media stream.
+    del rng
+    return ScenarioResult(
+        name=f"flapping-upstream:AS{asn}@{pop}",
+        impacts=impacts,
+        media=None,
+        event_log=tuple(injector.event_log),
+        notes={
+            "asn": asn,
+            "router_id": router_id,
+            "messages_per_flap": tuple(
+                impacts[2 * i].messages + impacts[2 * i + 1].messages
+                for i in range(flaps)
+            ),
+            "state_restored": final.states == baseline.states,
+        },
+    )
+
+
+def transit_degradation(
+    service: VideoNetworkService,
+    rng: np.random.Generator,
+    *,
+    regions: tuple[str, str] | None = None,
+    extra_loss: float = 0.05,
+    extra_delay_ms: float = 30.0,
+    at_s: float = 60.0,
+    repair_after_s: float = 1800.0,
+    entry_pop: str = "AMS",
+    prefix_limit: int = DEFAULT_PREFIX_LIMIT,
+) -> ScenarioResult:
+    """Sustained loss/latency on Internet transit of one corridor.
+
+    A pure data-plane fault: BGP never reacts (zero messages — recorded
+    in the notes), but streams whose egress tail crosses the degraded
+    corridor suffer.  This is the failure mode the paper's dedicated
+    circuits are bought to sidestep: only the Internet *tail* of the VNS
+    path is exposed, not the long-haul middle.
+
+    When ``regions`` is not given, the degraded corridor is read off the
+    measured path itself (the endpoint regions of its first transit
+    segment), so the fault is guaranteed to sit on the stream's route.
+
+    Raises
+    ------
+    ValueError
+        If the entry PoP has no route toward the chosen prefix, or the
+        path has no transit segment to degrade (with ``regions`` unset).
+    """
+    prefix = _prefix_in_region(service, WorldRegion.NORTH_CENTRAL_AMERICA)
+    path = service.path_via_vns(entry_pop, prefix)
+    if path is None:
+        raise ValueError(f"{entry_pop} has no route toward {prefix}")
+    if regions is None:
+        transit = [s for s in path.segments if s.kind is SegmentKind.TRANSIT]
+        if not transit:
+            raise ValueError(f"path {path.description} has no transit segment")
+        # Degrade the corridor of the longest transit hop — the one a
+        # sustained underlay problem would plausibly sit on.
+        segment = max(transit, key=lambda s: s.distance_km)
+        regions = (segment.start_region.value, segment.end_region.value)
+    injector = FaultInjector(service)
+    meter = _meter(service, prefix_limit)
+
+    steady = simulate_stream(path, rng=rng)
+    degrade = measure_event(
+        injector,
+        meter,
+        TransitDegrade(
+            time_s=at_s,
+            regions=regions,
+            extra_loss=extra_loss,
+            extra_delay_ms=extra_delay_ms,
+        ),
+    )
+    impaired = simulate_stream(injector.impaired_path(path), rng=rng)
+    restore = measure_event(
+        injector,
+        meter,
+        TransitRestore(time_s=at_s + repair_after_s, regions=regions),
+    )
+    recovered = simulate_stream(path, rng=rng)
+
+    return ScenarioResult(
+        name=f"transit-degradation:{regions[0]}~{regions[1]}",
+        impacts=[degrade, restore],
+        media=MediaImpact(
+            steady=steady, failover=impaired, recovered=recovered, window_s=0.0
+        ),
+        event_log=tuple(injector.event_log),
+        notes={
+            "prefix": str(prefix),
+            "entry_pop": entry_pop,
+            "control_plane_quiet": degrade.messages == 0 and restore.messages == 0,
+            "rtt_delta_ms": impaired.rtt_ms - steady.rtt_ms,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------- #
+
+
+def _user_sample(
+    service: VideoNetworkService, limit: int
+) -> dict[int, object]:
+    """A deterministic sample of user ASes and their home locations."""
+    asns = sorted(service.topology.ases)
+    if len(asns) > limit:
+        indices = np.linspace(0, len(asns) - 1, num=limit).astype(int)
+        asns = [asns[i] for i in dict.fromkeys(indices)]
+    return {
+        asn: service.topology.autonomous_system(asn).home.location for asn in asns
+    }
+
+
+def _entries(
+    service: VideoNetworkService, users: dict[int, object]
+) -> dict[int, str | None]:
+    """Entry PoP per sampled user AS under the current fault state."""
+    entries: dict[int, str | None] = {}
+    for asn, location in users.items():
+        pop = service.anycast.entry_pop(asn, location)
+        entries[asn] = None if pop is None else pop.code
+    return entries
+
+
+def _prefix_in_region(
+    service: VideoNetworkService, region: WorldRegion
+) -> Prefix:
+    """The lowest prefix whose true location falls in ``region``.
+
+    Raises
+    ------
+    ValueError
+        If no prefix geolocates there (cannot happen at the standard
+        world scales, which populate every study region).
+    """
+    for prefix in sorted(service.topology.prefix_location):
+        if region_of_point(service.topology.prefix_location[prefix]) is region:
+            return prefix
+    raise ValueError(f"no prefix located in {region}")

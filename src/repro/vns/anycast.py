@@ -49,11 +49,29 @@ class AnycastResolver:
         for asn in as_path[:-1]:
             system = self._topology.autonomous_system(asn)
             current = system.nearest_presence(current).location
-        session_pops = self._deployment.session_pops(neighbor_asn)
+        down = self._deployment.network.down_pops
+        session_pops = {
+            code
+            for code in self._deployment.session_pops(neighbor_asn)
+            if code not in down
+        }
+        if not session_pops and down:
+            # Anycast re-catchment: with every session PoP of the chosen
+            # neighbour failed, its announcement is gone and the routes
+            # heard via other neighbours attract the traffic instead.
+            # Approximated as the nearest surviving PoP holding any
+            # external session (AS-path selection among the remaining
+            # neighbours is second-order for catchment geography).
+            session_pops = {
+                code
+                for asn in self._deployment.neighbor_asns
+                for code in self._deployment.session_pops(asn)
+                if code not in down
+            }
         if not session_pops:
             return None
         entry = min(
-            (pop_by_code(code) for code in set(session_pops)),
+            (pop_by_code(code) for code in session_pops),
             key=lambda pop: pop.location.distance_km(current),
         )
         return entry, as_path

@@ -63,38 +63,71 @@ def l2_links() -> list[L2Link]:
     return links
 
 
-def build_l2_topology(igp_metric_scale: float = 10.0) -> tuple[IgpGraph, list[L2Link]]:
+def build_l2_topology(
+    igp_metric_scale: float = 10.0,
+    *,
+    excluded_links: frozenset[frozenset[str]] = frozenset(),
+    excluded_pops: frozenset[str] = frozenset(),
+    require_connected: bool = True,
+) -> tuple[IgpGraph, list[L2Link]]:
     """The PoP-level IGP graph with delay-proportional metrics.
 
     Metrics are ``delay_ms * igp_metric_scale`` (floored at 1) so SPF
     inside VNS tracks propagation delay, as a latency-tuned IGP would.
 
-    Returns the graph and the link list.
+    ``excluded_links`` (endpoint-code pairs) and ``excluded_pops`` support
+    fault injection: down circuits/PoPs are left out of the graph, and
+    ``require_connected`` must then be off (a fault may partition VNS —
+    SPF treats the far side as unreachable rather than erroring).
+
+    Returns the graph and the *full* link list (exclusions still appear in
+    the list; they are operational state, not topology).
+
+    Raises
+    ------
+    RuntimeError
+        If ``require_connected`` and the resulting graph is partitioned.
     """
     graph = IgpGraph()
     for pop in POPS:
-        graph.add_node(pop.code)
+        if pop.code not in excluded_pops:
+            graph.add_node(pop.code)
     links = l2_links()
     for link in links:
+        if frozenset((link.a, link.b)) in excluded_links:
+            continue
+        if link.a in excluded_pops or link.b in excluded_pops:
+            continue
         metric = max(1.0, link.delay_ms() * igp_metric_scale)
         graph.add_link(link.a, link.b, metric)
-    if not graph.is_connected():
+    if require_connected and not graph.is_connected():
         raise RuntimeError("VNS L2 topology is not connected")
     return graph, links
 
 
 def router_level_igp(
-    pop_graph: IgpGraph, intra_pop_metric: float = 1.0
+    pop_graph: IgpGraph,
+    intra_pop_metric: float = 1.0,
+    *,
+    require_connected: bool = True,
 ) -> IgpGraph:
     """Expand the PoP-level graph to border-router granularity.
 
     Routers within a PoP are joined by a cheap metro link; inter-PoP
     circuits connect the first router of each PoP (a simplification: real
     deployments terminate circuits on specific boxes, which is also why
-    the paper can pick circuit termination points "carefully").
+    the paper can pick circuit termination points "carefully").  PoPs
+    absent from ``pop_graph`` (failed) contribute no routers.
+
+    Raises
+    ------
+    RuntimeError
+        If ``require_connected`` and the resulting graph is partitioned.
     """
     graph = IgpGraph()
     for pop in POPS:
+        if pop.code not in pop_graph:
+            continue
         ids = pop.router_ids()
         for router_id in ids:
             graph.add_node(router_id)
@@ -102,11 +135,13 @@ def router_level_igp(
             for b in ids[i + 1 :]:
                 graph.add_link(a, b, intra_pop_metric)
     for pop in POPS:
+        if pop.code not in pop_graph:
+            continue
         for other_code, metric in pop_graph.neighbors(pop.code).items():
             if pop.code < other_code:
                 a = pop.router_ids()[0]
                 b = pop_by_code(other_code).router_ids()[0]
                 graph.add_link(a, b, metric)
-    if not graph.is_connected():
+    if require_connected and not graph.is_connected():
         raise RuntimeError("router-level IGP graph is not connected")
     return graph

@@ -120,6 +120,10 @@ class VnsNetwork:
         self.relationships: dict[int, Relationship] = dict(relationships or {})
         self.management = management if management is not None else ManagementInterface()
 
+        #: Operational fault state (see :meth:`set_link_state` /
+        #: :meth:`set_pop_state`); empty on a healthy network.
+        self.down_links: set[frozenset[str]] = set()
+        self.down_pops: set[str] = set()
         self.pop_igp, self.l2_links = build_l2_topology()
         self.router_igp = router_level_igp(self.pop_igp)
         self._pop_spf: dict[str, ShortestPaths] = all_pairs_spf(self.pop_igp)
@@ -138,13 +142,20 @@ class VnsNetwork:
     # ----------------------------------------------------------------- #
 
     def _igp_metric_fn(self, router_id: str):
-        """Metric from ``router_id`` to a BGP next hop (0 for external)."""
-        spf = self._router_spf[router_id]
+        """Metric from ``router_id`` to a BGP next hop (0 for external).
+
+        Looks the SPF table up per call rather than capturing it, so the
+        metric tracks IGP reconvergence after link/PoP faults: a next hop
+        at an unreachable or failed router costs ``inf``.
+        """
 
         def metric(next_hop: str) -> float:
-            if next_hop in self._router_spf:
-                return spf.metric_to(next_hop)
-            return 0.0  # external next hop resolved over the local session
+            if next_hop not in self.pop_of_router:
+                return 0.0  # external next hop resolved over the local session
+            spf = self._router_spf.get(router_id)
+            if spf is None:
+                return float("inf")  # this router's own PoP is down
+            return spf.metric_to(next_hop)
 
         return metric
 
@@ -245,6 +256,86 @@ class VnsNetwork:
         return peer_id
 
     # ----------------------------------------------------------------- #
+    # fault state (driven by repro.faults)
+    # ----------------------------------------------------------------- #
+
+    def _rebuild_igp(self) -> None:
+        """Recompute the IGP view from the current fault state.
+
+        Models instantaneous IGP reconvergence (link-state protocols
+        reconverge in milliseconds; BGP, which this engine does model
+        message-by-message, is the slow part).
+        """
+        self.pop_igp, _ = build_l2_topology(
+            excluded_links=frozenset(self.down_links),
+            excluded_pops=frozenset(self.down_pops),
+            require_connected=False,
+        )
+        self.router_igp = router_level_igp(self.pop_igp, require_connected=False)
+        self._pop_spf = all_pairs_spf(self.pop_igp)
+        self._router_spf = all_pairs_spf(self.router_igp)
+
+    def set_link_state(self, a: str, b: str, up: bool) -> bool:
+        """Mark the L2 circuit ``a``–``b`` up or down; True if it changed.
+
+        Only flips operational state and re-runs SPF — the BGP
+        consequences (hot-potato decisions moving) are the caller's to
+        drive, e.g. via :meth:`repro.vns.service.VideoNetworkService.refresh_routing`.
+
+        Raises
+        ------
+        ValueError
+            If no such circuit exists in the L2 topology.
+        """
+        key = frozenset((a, b))
+        if not any(frozenset((link.a, link.b)) == key for link in self.l2_links):
+            raise ValueError(f"no L2 circuit {a}-{b}")
+        changed = (key in self.down_links) == up
+        if up:
+            self.down_links.discard(key)
+        else:
+            self.down_links.add(key)
+        if changed:
+            self._rebuild_igp()
+        return changed
+
+    def set_pop_state(self, code: str, up: bool) -> bool:
+        """Mark a whole PoP failed or restored; True if the state changed.
+
+        A down PoP is removed from the IGP (no traffic enters, exits, or
+        transits it).  Its border routers' eBGP sessions and originations
+        are torn down by the fault injector; the iBGP control plane is
+        treated as out-of-band (the paper's reflectors live on a
+        management network), so reflectors hosted at the PoP keep running.
+
+        Raises
+        ------
+        KeyError
+            For an unknown PoP code.
+        """
+        pop_by_code(code)  # validates
+        changed = (code in self.down_pops) == up
+        if up:
+            self.down_pops.discard(code)
+        else:
+            self.down_pops.add(code)
+        if changed:
+            self._rebuild_igp()
+        return changed
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        """Whether the circuit ``a``–``b`` is operational."""
+        return frozenset((a, b)) not in self.down_links
+
+    def pop_is_up(self, code: str) -> bool:
+        """Whether a PoP is operational."""
+        return code not in self.down_pops
+
+    def active_pops(self) -> tuple[PoP, ...]:
+        """All PoPs currently up."""
+        return tuple(pop for pop in POPS if pop.code not in self.down_pops)
+
+    # ----------------------------------------------------------------- #
     # queries (post-convergence)
     # ----------------------------------------------------------------- #
 
@@ -272,10 +363,12 @@ class VnsNetwork:
         Raises
         ------
         ValueError
-            If the destination is unreachable (cannot happen on the
-            connected production topology).
+            If the destination is unreachable — impossible on the healthy
+            production topology, but faults can down an endpoint PoP or
+            partition the L2 graph.
         """
-        path = self._pop_spf[src_pop].path_to(dst_pop)
+        spf = self._pop_spf.get(src_pop)
+        path = spf.path_to(dst_pop) if spf is not None else None
         if path is None:
             raise ValueError(f"no internal path {src_pop} -> {dst_pop}")
         return path

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bgp.attributes import AsPath, Route
 from repro.bgp.engine import BgpEngine, ConvergenceError
-from repro.bgp.messages import Update
+from repro.bgp.messages import IgpNotification, Update
 from repro.bgp.router import BgpRouter
 from repro.bgp.session import Session, SessionType
 from repro.net.addressing import Prefix
@@ -83,3 +83,45 @@ class TestEngine:
         engine.inject(ext_update())
         engine.run()
         assert engine.delivered >= 1
+
+
+class TestDiagnostics:
+    def test_budget_error_carries_queue_snapshot(self):
+        engine, a, b = build_pair()
+        engine.inject(ext_update())
+        with pytest.raises(ConvergenceError) as excinfo:
+            engine.run(max_messages=0)
+        error = excinfo.value
+        assert error.delivered == 1
+        assert error.pending == len(engine.queue)
+        assert error.queue_depths == engine.pending_by_receiver()
+        assert error.last_message == engine.last_delivered
+        assert "still pending" in str(error)
+
+    def test_last_delivered_tracks_messages(self):
+        engine, a, b = build_pair()
+        assert engine.last_delivered is None
+        update = ext_update()
+        engine.inject(update)
+        engine.step()
+        assert engine.last_delivered == update
+
+
+class TestIgpNotification:
+    def test_notification_triggers_refresh(self):
+        engine, a, b = build_pair()
+        engine.inject(ext_update())
+        engine.run()
+        # A notification to a speaker with state re-runs its decisions;
+        # with nothing changed, nothing new is advertised.
+        engine.inject(IgpNotification(receiver="a"))
+        engine.run()
+        assert engine.converged
+        assert a.best(PFX) is not None
+        assert b.best(PFX) is not None
+
+    def test_notification_to_empty_router_is_quiet(self):
+        engine, a, b = build_pair()
+        engine.inject(IgpNotification(receiver="b"))
+        assert engine.run() == 1
+        assert b.best(PFX) is None

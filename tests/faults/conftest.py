@@ -1,0 +1,18 @@
+"""Fault-test fixtures: a private world the injector may mutate.
+
+The session-scoped ``small_world`` is shared and must stay pristine;
+fault tests perturb the live network (and repair it), so they get their
+own module-scoped copy built from the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import World, build_world
+
+
+@pytest.fixture(scope="module")
+def fault_world() -> World:
+    """A small world this module's tests may perturb (and must repair)."""
+    return build_world("small", seed=42)
