@@ -95,6 +95,17 @@ class Route:
         """A copy with additional communities."""
         return replace(self, communities=self.communities | set(extra))
 
+    def with_local_pref(self, local_pref: int) -> "Route":
+        """A copy with LOCAL_PREF replaced — or ``self`` when unchanged.
+
+        The no-copy case matters: the geo reflector re-derives the same
+        preference for every re-imported route (LOCAL_PREF travels on the
+        iBGP wire), and this is its hot path.
+        """
+        if local_pref == self.local_pref:
+            return self
+        return replace(self, local_pref=local_pref)
+
     def received(self, learned_from: str, ebgp: bool) -> "Route":
         """A copy stamped with reception metadata."""
         return replace(self, learned_from=learned_from, ebgp=ebgp)

@@ -12,15 +12,17 @@ simulation can inspect exactly what the AS announces to the outside.
 
 from __future__ import annotations
 
+import time
 from collections import Counter, deque
 from collections.abc import Iterable
 
 from repro.bgp.messages import Message
 from repro.bgp.router import BgpRouter
+from repro.perf import counters as perf
 
 
 class ConvergenceError(RuntimeError):
-    """Raised when the engine exceeds its message budget.
+    """Raised when the engine exhausts its message budget.
 
     Carries a snapshot of the engine state so a non-converging fault
     scenario can be debugged from the exception alone:
@@ -28,7 +30,11 @@ class ConvergenceError(RuntimeError):
     Attributes
     ----------
     delivered:
-        Messages delivered before giving up.
+        Messages delivered by the failing :meth:`BgpEngine.run` call
+        (always exactly the ``max_messages`` budget).
+    total_delivered:
+        The engine's cumulative delivery count over its whole lifetime
+        (:attr:`BgpEngine.delivered`), across all ``run`` calls.
     pending:
         Messages still queued.
     queue_depths:
@@ -42,12 +48,14 @@ class ConvergenceError(RuntimeError):
         message: str,
         *,
         delivered: int = 0,
+        total_delivered: int = 0,
         pending: int = 0,
         queue_depths: dict[str, int] | None = None,
         last_message: Message | None = None,
     ) -> None:
         super().__init__(message)
         self.delivered = delivered
+        self.total_delivered = total_delivered
         self.pending = pending
         self.queue_depths = dict(queue_depths or {})
         self.last_message = last_message
@@ -117,17 +125,21 @@ class BgpEngine:
     def run(self, max_messages: int = 5_000_000) -> int:
         """Deliver messages until convergence; return the count delivered.
 
+        The budget is exact: at most ``max_messages`` messages are
+        delivered by this call, and the error (if any) is raised with the
+        budget fully spent but never overdrawn.
+
         Raises
         ------
         ConvergenceError
-            If more than ``max_messages`` deliveries happen, which for this
-            policy-stable configuration indicates a bug, not MED oscillation.
+            If the queue is still non-empty after ``max_messages``
+            deliveries, which for this policy-stable configuration
+            indicates a bug, not MED oscillation.
         """
+        start = time.perf_counter() if perf.enabled else 0.0
         count = 0
         while self.queue:
-            self.step()
-            count += 1
-            if count > max_messages:
+            if count >= max_messages:
                 depths = self.pending_by_receiver()
                 deepest = ", ".join(
                     f"{receiver}:{depth}"
@@ -138,10 +150,16 @@ class BgpEngine:
                     f" ({len(self.queue)} still pending; deepest queues"
                     f" [{deepest}]; last delivered: {self.last_delivered})",
                     delivered=count,
+                    total_delivered=self.delivered,
                     pending=len(self.queue),
                     queue_depths=depths,
                     last_message=self.last_delivered,
                 )
+            self.step()
+            count += 1
+        if perf.enabled:
+            perf.add_time("bgp.engine.run", time.perf_counter() - start)
+            perf.incr("bgp.engine.delivered", count)
         return count
 
     def pending_by_receiver(self) -> dict[str, int]:

@@ -14,6 +14,7 @@ Two granularities:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -65,6 +66,21 @@ class StreamResult:
         return len(self.slot_losses)
 
 
+def slot_count(duration_s: float, slot_s: float) -> int:
+    """Number of accounting slots covering ``duration_s`` entirely.
+
+    Ceiling division with a tolerance for float ratios that are integral
+    up to rounding (``120 / 5 -> 24``): a non-divisible duration gets a
+    final *partial* slot instead of silently dropping its tail
+    (``12 / 5 -> 3``, not 2).
+    """
+    ratio = duration_s / slot_s
+    whole = round(ratio)
+    if whole > 0 and abs(ratio - whole) < 1e-9:
+        return int(whole)
+    return max(1, math.ceil(ratio))
+
+
 def combine_rates(per_segment: list[np.ndarray], n_slots: int | None = None) -> np.ndarray:
     """Combine independent per-segment loss rates into end-to-end rates.
 
@@ -113,13 +129,22 @@ def simulate_stream(
     """
     if duration_s <= 0 or packets_per_second <= 0 or slot_s <= 0:
         raise ValueError("duration, packet rate and slot length must be positive")
-    n_slots = max(1, int(round(duration_s / slot_s)))
+    n_slots = slot_count(duration_s, slot_s)
     packets_per_slot = int(round(packets_per_second * slot_s))
+    final_slot_s = duration_s - (n_slots - 1) * slot_s
+    final_packets = int(round(packets_per_second * final_slot_s))
     per_segment = [
         segment.sample_slot_rates(n_slots, hour_cet, rng) for segment in path.segments
     ]
     rates = combine_rates(per_segment, n_slots)
-    slot_losses = rng.binomial(packets_per_slot, rates)
+    if final_packets == packets_per_slot:
+        slot_losses = rng.binomial(packets_per_slot, rates)
+    else:
+        # Non-divisible duration: the final slot is partial and carries
+        # fewer packets, but its tail seconds are still accounted.
+        slot_packets = np.full(n_slots, packets_per_slot)
+        slot_packets[-1] = final_packets
+        slot_losses = rng.binomial(slot_packets, rates)
     jitter_samples = rng.gamma(
         cal.JITTER_GAMMA_SHAPE,
         _jitter_scale(path, hour_cet, packets_per_second),
@@ -129,7 +154,7 @@ def simulate_stream(
     jitter_samples = jitter_samples * (1.0 + 40.0 * rates)
     jitter_p95 = float(np.percentile(jitter_samples, 95))
     return StreamResult(
-        packets_sent=packets_per_slot * n_slots,
+        packets_sent=packets_per_slot * (n_slots - 1) + final_packets,
         slot_losses=slot_losses,
         jitter_p95_ms=jitter_p95,
         rtt_ms=path.rtt_ms(),

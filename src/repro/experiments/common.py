@@ -22,6 +22,7 @@ from repro.geo.errors import (
     StaleWhoisError,
 )
 from repro.net.topology import TopologyConfig
+from repro.perf import counters as perf
 from repro.vns.builder import VnsConfig
 from repro.vns.service import VideoNetworkService
 
@@ -112,12 +113,13 @@ def build_world(
     if isinstance(scale, str):
         scale = WorldScale(scale)
     errors = paper_geoip_errors() if geoip_errors else None
-    service = VideoNetworkService.build(
-        _TOPOLOGY_CONFIGS[scale],
-        VnsConfig(max_peers=_MAX_PEERS[scale]),
-        seed=seed,
-        geoip_errors=errors,
-    )
+    with perf.timer(f"experiments.build_world.{scale.value}"):
+        service = VideoNetworkService.build(
+            _TOPOLOGY_CONFIGS[scale],
+            VnsConfig(max_peers=_MAX_PEERS[scale]),
+            seed=seed,
+            geoip_errors=errors,
+        )
     world = World(
         scale=scale,
         seed=seed,

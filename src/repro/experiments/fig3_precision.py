@@ -17,12 +17,11 @@ import numpy as np
 
 from repro.dataplane.transmit import simulate_ping
 from repro.experiments.common import World, experiment_rng
-from repro.geo.coords import great_circle_km
 from repro.geo.regions import PopRegion
 from repro.measurement.ping import PingCampaign
 from repro.measurement.stats import fraction_at_most
 from repro.net.addressing import Prefix
-from repro.vns.pop import POPS, pop_by_code
+from repro.vns.pop import nearest_pop, pop_by_code
 
 
 @dataclass(slots=True)
@@ -75,8 +74,7 @@ def _reported_region(world: World, prefix: Prefix) -> PopRegion | None:
     location = world.service.geoip.reported_location(prefix)
     if location is None:
         return None
-    nearest = min(POPS, key=lambda pop: great_circle_km(pop.location, location))
-    return nearest.region
+    return nearest_pop(location).region
 
 
 def run(

@@ -63,6 +63,38 @@ def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
     return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
 
 
+#: Precomputed trig terms of a point: ``(lat_rad, cos_lat, lon_rad)``.
+TrigTerms = tuple[float, float, float]
+
+
+def trig_terms(point: GeoPoint) -> TrigTerms:
+    """Precompute the per-point haversine terms ``(lat_rad, cos_lat, lon_rad)``.
+
+    A caller that measures many distances *from* a fixed set of points
+    (the 11 PoPs, the ~22 egress routers) computes these once and feeds
+    them to :func:`great_circle_km_fast`, skipping the degree→radian
+    conversions and the cosine on every call.
+    """
+    lat_rad = math.radians(point.lat)
+    return (lat_rad, math.cos(lat_rad), math.radians(point.lon))
+
+
+def great_circle_km_fast(terms: TrigTerms, b: GeoPoint) -> float:
+    """Haversine distance from a precomputed point to ``b``, in km.
+
+    Same formulation as :func:`great_circle_km` — only the fixed point's
+    trigonometry is hoisted — so distances agree to floating-point noise
+    (≪ the 10 km LOCAL_PREF resolution the route reflector quantises to).
+    """
+    lat1, cos_lat1, lon1 = terms
+    lat2 = math.radians(b.lat)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.lon) - lon1
+    h = math.sin(dlat / 2.0) ** 2 + cos_lat1 * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
 def initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
     """Initial bearing (forward azimuth) from ``a`` to ``b`` in degrees.
 

@@ -56,6 +56,10 @@ class GeoIPDatabase:
 
     def __init__(self) -> None:
         self._entries: dict[Hashable, GeoIPEntry] = {}
+        #: Bumped on every mutation; consumers caching lookup results
+        #: (e.g. the geo reflector's LOCAL_PREF memo) compare against it
+        #: to detect staleness without subscribing to individual records.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -80,6 +84,7 @@ class GeoIPDatabase:
         self._entries[prefix] = GeoIPEntry(
             location=location, country=country, true_location=location
         )
+        self.version += 1
 
     def lookup(self, prefix: Hashable) -> GeoIPEntry | None:
         """The database record for ``prefix``, or ``None`` if unmapped.
@@ -119,10 +124,12 @@ class GeoIPDatabase:
         if country is not None:
             entry = replace(entry, country=country)
         self._entries[prefix] = entry
+        self.version += 1
 
     def remove(self, prefix: Hashable) -> None:
         """Drop a record entirely, modelling a database miss."""
         del self._entries[prefix]
+        self.version += 1
 
     def prefixes(self) -> tuple[Hashable, ...]:
         """All registered prefixes, in insertion order."""

@@ -120,9 +120,9 @@ class InstrumentedClient:
         # Mirror the counts into RTP receiver accounting (the instrumented
         # client reads its numbers off the RTP session, as real tools do).
         session = RtpSession(spec=spec)
-        per_slot = spec.packets_per_slot
-        for lost in outbound.slot_losses[: spec.n_slots]:
-            session.record_slot(per_slot - min(int(lost), per_slot))
+        for i, lost in enumerate(outbound.slot_losses[: spec.n_slots]):
+            capacity = spec.packets_in_slot(i)
+            session.record_slot(capacity - min(int(lost), capacity))
         self.sip.bye(call, path, hour_cet=hour_cet, rng=self.rng)
         return SessionMeasurement(
             client_name=self.name,

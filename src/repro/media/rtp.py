@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dataplane.transmit import slot_count
 from repro.media.codec import VideoProfile
 
 
@@ -31,16 +32,43 @@ class RtpStreamSpec:
 
     @property
     def n_slots(self) -> int:
-        """Number of loss-accounting slots (24 for the paper's 2-minute runs)."""
-        return max(1, int(round(self.duration_s / self.slot_s)))
+        """Number of loss-accounting slots (24 for the paper's 2-minute runs).
+
+        Ceiling, not rounding: a non-divisible duration gets a final
+        *partial* slot so every second of media is accounted
+        (``duration_s=12, slot_s=5`` -> 3 slots of 5 s, 5 s, 2 s).
+        """
+        return slot_count(self.duration_s, self.slot_s)
 
     @property
     def packets_per_slot(self) -> int:
+        """Capacity of a full slot."""
         return self.profile.packets_in(self.slot_s)
+
+    def slot_duration_s(self, index: int) -> float:
+        """Duration of slot ``index``; only the last can be partial.
+
+        Raises
+        ------
+        IndexError
+            For an index outside ``[0, n_slots)``.
+        """
+        n = self.n_slots
+        if not 0 <= index < n:
+            raise IndexError(f"slot {index} outside [0, {n})")
+        if index < n - 1:
+            return self.slot_s
+        return self.duration_s - (n - 1) * self.slot_s
+
+    def packets_in_slot(self, index: int) -> int:
+        """Capacity of slot ``index`` (smaller for a partial final slot)."""
+        return self.profile.packets_in(self.slot_duration_s(index))
 
     @property
     def total_packets(self) -> int:
-        return self.packets_per_slot * self.n_slots
+        return self.packets_per_slot * (self.n_slots - 1) + self.packets_in_slot(
+            self.n_slots - 1
+        )
 
 
 @dataclass(slots=True)
@@ -54,20 +82,22 @@ class RtpSession:
     def record_slot(self, received: int) -> None:
         """Record one slot's received-packet count.
 
+        The capacity bound is per slot: a partial final slot carries
+        fewer packets than a full one.
+
         Raises
         ------
         ValueError
             If more packets are recorded than the slot can carry, or the
             stream already ended.
         """
-        if received < 0 or received > self.spec.packets_per_slot:
-            raise ValueError(
-                f"received {received} outside [0, {self.spec.packets_per_slot}]"
-            )
         if len(self.received_per_slot) >= self.spec.n_slots:
             raise ValueError("stream already complete")
+        capacity = self.spec.packets_in_slot(len(self.received_per_slot))
+        if received < 0 or received > capacity:
+            raise ValueError(f"received {received} outside [0, {capacity}]")
         self.received_per_slot.append(received)
-        self.highest_seq += self.spec.packets_per_slot
+        self.highest_seq += capacity
 
     @property
     def complete(self) -> bool:
@@ -76,7 +106,9 @@ class RtpSession:
     @property
     def expected(self) -> int:
         """RFC 3550 'expected' packet count so far."""
-        return len(self.received_per_slot) * self.spec.packets_per_slot
+        return sum(
+            self.spec.packets_in_slot(i) for i in range(len(self.received_per_slot))
+        )
 
     @property
     def received(self) -> int:
@@ -88,8 +120,12 @@ class RtpSession:
 
     def slot_losses(self) -> np.ndarray:
         """Lost packets per slot (the Fig. 10 instrumentation)."""
-        per_slot = self.spec.packets_per_slot
-        return np.array([per_slot - got for got in self.received_per_slot])
+        return np.array(
+            [
+                self.spec.packets_in_slot(i) - got
+                for i, got in enumerate(self.received_per_slot)
+            ]
+        )
 
     @property
     def loss_percent(self) -> float:

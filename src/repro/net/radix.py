@@ -12,6 +12,7 @@ from collections.abc import Iterator
 from typing import Generic, TypeVar
 
 from repro.net.addressing import IPv4Address, Prefix
+from repro.perf import counters as perf
 
 V = TypeVar("V")
 
@@ -124,6 +125,8 @@ class RadixTree(Generic[V]):
 
         Returns ``None`` when no stored prefix matches (no default route).
         """
+        if perf.enabled:
+            perf.incr("net.radix.longest_match")
         best: tuple[Prefix, V] | None = None
         node: _Node[V] | None = self._root
         value = address.value

@@ -1,0 +1,152 @@
+"""Lightweight perf counters and timers for the simulation's hot paths.
+
+Zero-dependency instrumentation, **off by default**: every probe site
+checks one module-level flag, so the disabled cost is a dict-free boolean
+test.  Enable around a region of interest, read a snapshot, and reset:
+
+    from repro import perf
+
+    perf.enable()
+    world = build_world("medium")
+    print(perf.report())
+    perf.disable()
+
+Two probe flavours:
+
+* counters — :func:`incr` adds to a named event count;
+* timers — :func:`timer` (context manager) and :func:`timed` (decorator)
+  accumulate wall-clock seconds and a call count under a name.
+
+Names are dotted paths (``"bgp.engine.run"``); the registry is flat.
+The module is intentionally not thread-safe: the simulation is
+single-threaded and the probes must stay cheap.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Global on/off switch.  Read directly by hot paths (`perf.enabled`);
+#: mutate only via :func:`enable` / :func:`disable`.
+enabled = False
+
+#: name -> event count (plain counters).
+_counts: dict[str, int] = {}
+#: name -> (calls, total seconds) for timed regions.
+_timings: dict[str, list[float]] = {}
+
+
+def enable() -> None:
+    """Turn instrumentation on (idempotent)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off; accumulated data is kept until :func:`reset`."""
+    global enabled
+    enabled = False
+
+
+def is_enabled() -> bool:
+    return enabled
+
+
+def reset() -> None:
+    """Drop all accumulated counters and timings."""
+    _counts.clear()
+    _timings.clear()
+
+
+def incr(name: str, n: int = 1) -> None:
+    """Add ``n`` to the counter ``name`` (no-op while disabled)."""
+    if enabled:
+        _counts[name] = _counts.get(name, 0) + n
+
+
+def add_time(name: str, seconds: float, calls: int = 1) -> None:
+    """Credit ``seconds`` of wall time to the timer ``name``."""
+    if enabled:
+        entry = _timings.get(name)
+        if entry is None:
+            _timings[name] = [calls, seconds]
+        else:
+            entry[0] += calls
+            entry[1] += seconds
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Time a region: ``with perf.timer("experiments.build_world"): ...``."""
+    if not enabled:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        add_time(name, time.perf_counter() - start)
+
+
+def timed(name: str) -> Callable[[F], F]:
+    """Decorator form of :func:`timer` for whole functions."""
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                add_time(name, time.perf_counter() - start)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def counter(name: str) -> int:
+    """Current value of one counter (0 if never incremented)."""
+    return _counts.get(name, 0)
+
+
+def snapshot() -> dict[str, dict[str, float]]:
+    """All accumulated data, JSON-friendly.
+
+    ``{"counters": {name: count}, "timers": {name: {"calls", "total_s"}}}``
+    """
+    return {
+        "counters": dict(_counts),
+        "timers": {
+            name: {"calls": calls, "total_s": total}
+            for name, (calls, total) in _timings.items()
+        },
+    }
+
+
+def report() -> str:
+    """A human-readable dump, counters then timers, sorted by name."""
+    lines = ["perf counters:"]
+    for name in sorted(_counts):
+        lines.append(f"  {name:<40} {_counts[name]:>12}")
+    if not _counts:
+        lines.append("  (none)")
+    lines.append("perf timers:")
+    for name in sorted(_timings):
+        calls, total = _timings[name]
+        per_call = total / calls if calls else 0.0
+        lines.append(
+            f"  {name:<40} {int(calls):>8} calls  {total:>9.4f}s total"
+            f"  {per_call * 1e6:>9.1f}us/call"
+        )
+    if not _timings:
+        lines.append("  (none)")
+    return "\n".join(lines)

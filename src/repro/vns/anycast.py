@@ -17,7 +17,7 @@ from repro.geo.coords import GeoPoint
 from repro.net.topology import InternetTopology
 from repro.vns.builder import VnsDeployment
 from repro.vns.network import VNS_ASN
-from repro.vns.pop import POPS, PoP, pop_by_code
+from repro.vns.pop import PoP, nearest_pop, pop_by_code
 
 
 class AnycastResolver:
@@ -70,10 +70,7 @@ class AnycastResolver:
             }
         if not session_pops:
             return None
-        entry = min(
-            (pop_by_code(code) for code in session_pops),
-            key=lambda pop: pop.location.distance_km(current),
-        )
+        entry = nearest_pop(current, among=(pop_by_code(code) for code in session_pops))
         return entry, as_path
 
     def entry_pop(self, user_asn: int, user_location: GeoPoint) -> PoP | None:
@@ -83,4 +80,4 @@ class AnycastResolver:
 
     def nearest_pop(self, location: GeoPoint) -> PoP:
         """The geographically ideal entry (for catchment comparisons)."""
-        return min(POPS, key=lambda pop: pop.location.distance_km(location))
+        return nearest_pop(location)

@@ -10,10 +10,11 @@ in Oceania — four continents total).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.geo.cities import City, city_by_name
-from repro.geo.coords import GeoPoint
+from repro.geo.coords import GeoPoint, TrigTerms, great_circle_km_fast, trig_terms
 from repro.geo.regions import PopRegion
 
 
@@ -83,6 +84,10 @@ POPS: tuple[PoP, ...] = (
 _BY_ID = {pop.pop_id: pop for pop in POPS}
 _BY_CODE = {pop.code: pop for pop in POPS}
 
+#: The footprint is fixed, so each PoP's haversine trig terms are
+#: computed once at import; every nearest-PoP query reuses them.
+_POP_TRIG: dict[str, TrigTerms] = {pop.code: trig_terms(pop.location) for pop in POPS}
+
 
 def pop_by_id(pop_id: int) -> PoP:
     """Look up a PoP by its Fig. 4 id.
@@ -111,9 +116,28 @@ def pops_in_region(region: PopRegion) -> tuple[PoP, ...]:
     return tuple(pop for pop in POPS if pop.region is region)
 
 
-def nearest_pop(location: GeoPoint) -> PoP:
-    """The PoP geographically nearest to ``location``."""
-    return min(POPS, key=lambda pop: pop.location.distance_km(location))
+def pop_distance_km(pop: PoP, location: GeoPoint) -> float:
+    """Great-circle distance from a production PoP, using cached trig."""
+    return great_circle_km_fast(_POP_TRIG[pop.code], location)
+
+
+def nearest_pop(location: GeoPoint, among: Iterable[PoP] | None = None) -> PoP:
+    """The PoP geographically nearest to ``location``.
+
+    ``among`` restricts the candidates (e.g. the PoPs still holding a
+    session after a fault); default is the full footprint.  This is the
+    single nearest-PoP implementation — anycast catchment and experiment
+    code route through it so they all share the precomputed trig terms.
+
+    Raises
+    ------
+    ValueError
+        If ``among`` is given but empty.
+    """
+    candidates = POPS if among is None else tuple(among)
+    if not candidates:
+        raise ValueError("nearest_pop needs at least one candidate PoP")
+    return min(candidates, key=lambda pop: great_circle_km_fast(_POP_TRIG[pop.code], location))
 
 
 def total_border_routers() -> int:

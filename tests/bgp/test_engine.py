@@ -73,6 +73,32 @@ class TestEngine:
         with pytest.raises(ConvergenceError):
             engine.run(max_messages=0)
 
+    def test_budget_is_exact(self):
+        # The engine must deliver exactly max_messages — never one more.
+        engine, *_ = build_pair()
+        engine.inject(ext_update())
+        with pytest.raises(ConvergenceError) as excinfo:
+            engine.run(max_messages=1)
+        assert engine.delivered == 1
+        assert excinfo.value.delivered == 1
+
+    def test_zero_budget_delivers_nothing(self):
+        engine, *_ = build_pair()
+        engine.inject(ext_update())
+        with pytest.raises(ConvergenceError):
+            engine.run(max_messages=0)
+        assert engine.delivered == 0
+        assert engine.last_delivered is None
+
+    def test_budget_not_raised_on_exact_convergence(self):
+        # A run that converges in exactly max_messages must not raise.
+        engine, *_ = build_pair()
+        engine.inject(ext_update())
+        needed = engine.run()
+        engine2, *_ = build_pair()
+        engine2.inject(ext_update())
+        assert engine2.run(max_messages=needed) == needed
+
     def test_unknown_router_lookup(self):
         engine, *_ = build_pair()
         with pytest.raises(KeyError):
@@ -90,13 +116,39 @@ class TestDiagnostics:
         engine, a, b = build_pair()
         engine.inject(ext_update())
         with pytest.raises(ConvergenceError) as excinfo:
-            engine.run(max_messages=0)
+            engine.run(max_messages=1)
         error = excinfo.value
         assert error.delivered == 1
+        assert error.total_delivered == engine.delivered == 1
         assert error.pending == len(engine.queue)
         assert error.queue_depths == engine.pending_by_receiver()
         assert error.last_message == engine.last_delivered
         assert "still pending" in str(error)
+
+    def test_diagnostics_distinguish_per_call_from_cumulative(self):
+        # `delivered` is this call's count; `total_delivered` is the
+        # engine's lifetime count — they diverge on the second run call.
+        engine, a, b = build_pair()
+        engine.inject(ext_update())
+        first = engine.run()
+        assert engine.delivered == first
+        engine.inject(
+            Update(
+                sender="ext",
+                receiver="a",
+                route=Route(
+                    prefix=Prefix.parse("198.51.100.0/24"),
+                    as_path=AsPath((100, 9)),
+                    next_hop="ext",
+                ),
+            )
+        )
+        with pytest.raises(ConvergenceError) as excinfo:
+            engine.run(max_messages=1)
+        error = excinfo.value
+        assert error.delivered == 1
+        assert error.total_delivered == first + 1
+        assert engine.delivered == first + 1
 
     def test_last_delivered_tracks_messages(self):
         engine, a, b = build_pair()

@@ -25,6 +25,35 @@ class TestSpec:
         with pytest.raises(ValueError):
             RtpStreamSpec(ssrc=1, profile=PROFILE_1080P, slot_s=0)
 
+    def test_non_divisible_duration_keeps_trailing_seconds(self):
+        # Regression: 12 s / 5 s slots used to round to 2 slots, silently
+        # dropping the final 2 seconds of media from the accounting.
+        spec = RtpStreamSpec(ssrc=1, profile=PROFILE_1080P, duration_s=12.0)
+        assert spec.n_slots == 3
+        assert spec.slot_duration_s(0) == 5.0
+        assert spec.slot_duration_s(1) == 5.0
+        assert spec.slot_duration_s(2) == pytest.approx(2.0)
+        assert spec.packets_in_slot(2) == PROFILE_1080P.packets_in(2.0)
+        assert spec.total_packets == PROFILE_1080P.packets_in(12.0)
+
+    def test_divisible_duration_unchanged(self):
+        spec = RtpStreamSpec(ssrc=1, profile=PROFILE_1080P, duration_s=120.0)
+        assert spec.n_slots == 24
+        assert all(spec.packets_in_slot(i) == spec.packets_per_slot for i in range(24))
+
+    def test_short_duration_single_partial_slot(self):
+        spec = RtpStreamSpec(ssrc=1, profile=PROFILE_1080P, duration_s=2.0)
+        assert spec.n_slots == 1
+        assert spec.packets_in_slot(0) == PROFILE_1080P.packets_in(2.0)
+        assert spec.total_packets == PROFILE_1080P.packets_in(2.0)
+
+    def test_slot_duration_out_of_range(self):
+        spec = RtpStreamSpec(ssrc=1, profile=PROFILE_1080P, duration_s=12.0)
+        with pytest.raises(IndexError):
+            spec.slot_duration_s(3)
+        with pytest.raises(IndexError):
+            spec.slot_duration_s(-1)
+
 
 class TestSession:
     def test_accounting(self, spec):
@@ -59,6 +88,20 @@ class TestSession:
 
     def test_empty_session_loss(self, spec):
         assert RtpSession(spec=spec).loss_percent == 0.0
+
+    def test_partial_final_slot_accounting(self):
+        spec = RtpStreamSpec(ssrc=1, profile=PROFILE_1080P, duration_s=12.0)
+        session = RtpSession(spec=spec)
+        session.record_slot(spec.packets_in_slot(0))
+        session.record_slot(spec.packets_in_slot(1))
+        final_capacity = spec.packets_in_slot(2)
+        with pytest.raises(ValueError):
+            session.record_slot(final_capacity + 1)  # over partial capacity
+        session.record_slot(final_capacity - 3)
+        assert session.complete
+        assert session.expected == spec.total_packets
+        assert session.lost == 3
+        assert session.slot_losses().tolist() == [0, 0, 3]
 
 
 class TestSsrc:

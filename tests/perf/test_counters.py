@@ -1,0 +1,140 @@
+"""Unit tests for the perf counter/timer layer."""
+
+import pytest
+
+from repro import perf
+
+
+@pytest.fixture(autouse=True)
+def clean_perf():
+    """Every test starts disabled and empty, and leaves no residue."""
+    perf.disable()
+    perf.reset()
+    yield
+    perf.disable()
+    perf.reset()
+
+
+class TestSwitch:
+    def test_off_by_default(self):
+        assert not perf.is_enabled()
+
+    def test_enable_disable(self):
+        perf.enable()
+        assert perf.is_enabled()
+        perf.disable()
+        assert not perf.is_enabled()
+
+    def test_disabled_probes_record_nothing(self):
+        perf.incr("x")
+        with perf.timer("y"):
+            pass
+        snap = perf.snapshot()
+        assert snap["counters"] == {}
+        assert snap["timers"] == {}
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        perf.enable()
+        perf.incr("a")
+        perf.incr("a", 4)
+        assert perf.counter("a") == 5
+
+    def test_unknown_counter_is_zero(self):
+        assert perf.counter("never") == 0
+
+    def test_reset_clears(self):
+        perf.enable()
+        perf.incr("a")
+        perf.reset()
+        assert perf.counter("a") == 0
+
+
+class TestTimers:
+    def test_timer_context_manager(self):
+        perf.enable()
+        with perf.timer("region"):
+            sum(range(1000))
+        snap = perf.snapshot()["timers"]["region"]
+        assert snap["calls"] == 1
+        assert snap["total_s"] >= 0.0
+
+    def test_timed_decorator(self):
+        perf.enable()
+
+        @perf.timed("fn")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert work(1) == 2
+        snap = perf.snapshot()["timers"]["fn"]
+        assert snap["calls"] == 2
+
+    def test_decorator_transparent_when_disabled(self):
+        @perf.timed("fn")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert perf.snapshot()["timers"] == {}
+
+    def test_timer_records_on_exception(self):
+        perf.enable()
+        with pytest.raises(RuntimeError):
+            with perf.timer("boom"):
+                raise RuntimeError("x")
+        assert perf.snapshot()["timers"]["boom"]["calls"] == 1
+
+
+class TestWiring:
+    def test_engine_run_is_instrumented(self):
+        from repro.bgp.engine import BgpEngine
+        from repro.bgp.router import BgpRouter
+
+        engine = BgpEngine()
+        engine.add_router(BgpRouter("a", 65000))
+        perf.enable()
+        engine.run()
+        snap = perf.snapshot()
+        assert "bgp.engine.run" in snap["timers"]
+
+    def test_radix_longest_match_is_counted(self):
+        from repro.net.addressing import IPv4Address, Prefix
+        from repro.net.radix import RadixTree
+
+        tree = RadixTree()
+        tree.insert(Prefix.parse("203.0.113.0/24"), "x")
+        perf.enable()
+        tree.longest_match(IPv4Address.parse("203.0.113.7"))
+        tree.longest_match(IPv4Address.parse("198.51.100.1"))
+        assert perf.counter("net.radix.longest_match") == 2
+
+    def test_geo_assign_counts_memo_hits(self):
+        from repro.bgp.attributes import AsPath, Route
+        from repro.geo.coords import GeoPoint
+        from repro.geo.geoip import GeoIPDatabase
+        from repro.net.addressing import Prefix
+        from repro.vns.geo_rr import GeoRouteReflector
+
+        prefix = Prefix.parse("203.0.113.0/24")
+        geoip = GeoIPDatabase()
+        geoip.register(prefix, GeoPoint(51.9, 4.5), "NL")
+        rr = GeoRouteReflector(
+            "RR", 65000, geoip=geoip, router_locations={"A": GeoPoint(52.37, 4.90)}
+        )
+        route = Route(prefix=prefix, as_path=AsPath((100,)), next_hop="A")
+        perf.enable()
+        rr.assign_geo_preference(route)
+        rr.assign_geo_preference(route)
+        assert perf.counter("geo.assign.calls") == 2
+        assert perf.counter("geo.assign.memo_hits") == 1
+
+    def test_report_renders(self):
+        perf.enable()
+        perf.incr("a.b", 3)
+        with perf.timer("c.d"):
+            pass
+        text = perf.report()
+        assert "a.b" in text and "c.d" in text

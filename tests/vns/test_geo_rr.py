@@ -119,3 +119,142 @@ class TestGeoAssignment:
             lp_function=lambda d: 7777,
         )
         assert rr.assign_geo_preference(ibgp_route("A")).local_pref == 7777
+
+
+class TestOptimisedHotPath:
+    """The memoized fast path must be invisible except for speed."""
+
+    def test_matches_reference_implementation(self):
+        rr = make_reflector()
+        ref = make_reflector()
+        for next_hop in ("A", "B"):
+            fast = rr.assign_geo_preference(ibgp_route(next_hop))
+            slow = ref.assign_geo_preference_reference(ibgp_route(next_hop))
+            assert fast.local_pref == slow.local_pref
+
+    def test_memo_hit_returns_same_decision(self):
+        rr = make_reflector()
+        first = rr.assign_geo_preference(ibgp_route("A"))
+        second = rr.assign_geo_preference(ibgp_route("A"))  # memo hit
+        assert second.local_pref == first.local_pref
+
+    def test_no_copy_when_pref_unchanged(self):
+        rr = make_reflector()
+        assigned = rr.assign_geo_preference(ibgp_route("A"))
+        again = rr.assign_geo_preference(assigned)
+        assert again is assigned  # LOCAL_PREF already correct: no replace()
+
+    def test_memo_invalidated_by_geoip_mutation(self):
+        rr = make_reflector()
+        before = rr.assign_geo_preference(ibgp_route("A")).local_pref
+        rr.geoip.override(PFX, location=GeoPoint(1.29, 103.85))  # move to SG
+        after = rr.assign_geo_preference(ibgp_route("A")).local_pref
+        assert after < before  # Amsterdam egress is now far away
+
+    def test_memo_handles_registration_after_miss(self):
+        rr = make_reflector(geoip=GeoIPDatabase())
+        assert rr.assign_geo_preference(ibgp_route("A")).local_pref == 100
+        rr.geoip.register(PFX, GeoPoint(51.9, 4.5), "NL")
+        assert rr.assign_geo_preference(ibgp_route("A")).local_pref > 1000
+
+    def test_memo_eviction_keeps_decisions_correct(self):
+        rr = make_reflector()
+        rr._memo_size = 1
+        for prefix_text in ("198.51.100.0/24", "192.0.2.0/24"):
+            rr.geoip.register(
+                Prefix.parse(prefix_text), GeoPoint(51.9, 4.5), "NL"
+            )
+        routes = [ibgp_route("A")]
+        for prefix_text in ("198.51.100.0/24", "192.0.2.0/24"):
+            routes.append(
+                Route(
+                    prefix=Prefix.parse(prefix_text),
+                    as_path=AsPath((100, 9)),
+                    next_hop="A",
+                )
+            )
+        expected = [rr.assign_geo_preference(r).local_pref for r in routes]
+        evicted = [rr.assign_geo_preference(r).local_pref for r in routes]
+        assert evicted == expected
+        assert len(rr._lp_memo) == 1
+
+
+class TestStatsCounters:
+    """All five counters, including the management-hook paths."""
+
+    def test_assigned_counter(self):
+        rr = make_reflector()
+        rr.assign_geo_preference(ibgp_route("A"))
+        assert rr.stats["assigned"] == 1
+
+    def test_no_location_counter(self):
+        rr = make_reflector()
+        rr.assign_geo_preference(ibgp_route("nowhere"))
+        assert rr.stats["no_location"] == 1
+        assert rr.stats["assigned"] == 0
+
+    def test_no_geoip_counter(self):
+        rr = make_reflector(geoip=GeoIPDatabase())
+        rr.assign_geo_preference(ibgp_route("A"))
+        assert rr.stats["no_geoip"] == 1
+        assert rr.stats["assigned"] == 0
+
+    def test_exempt_counter_via_management_hook(self):
+        from repro.vns.management import ManagementInterface
+
+        management = ManagementInterface()
+        management.exempt_from_geo(PFX)
+        rr = make_reflector()
+        rr.management = management
+        session = rr.session_to("A")
+        imported = rr.transform_imported(
+            ibgp_route("A").received("A", ebgp=False), session
+        )
+        assert imported.local_pref == 100  # untouched: default behaviour
+        assert rr.stats["exempt"] == 1
+        assert rr.stats["assigned"] == 0
+
+    def test_forced_counter_via_management_hook(self):
+        from repro.vns.management import FORCED_EXIT_LP, ManagementInterface
+
+        management = ManagementInterface()
+        management.force_exit(PFX, "A")
+        rr = make_reflector()
+        rr.management = management
+        session = rr.session_to("A")
+        # Matching egress: pinned at the forced preference.
+        pinned = rr.transform_imported(
+            Route(prefix=PFX, as_path=AsPath((100, 9)), next_hop="A-r1").received(
+                "A", ebgp=False
+            ),
+            session,
+        )
+        assert pinned.local_pref == FORCED_EXIT_LP
+        assert rr.stats["forced"] == 1
+        # Non-matching egress: falls through to the geo assignment.
+        fallback = rr.transform_imported(
+            ibgp_route("B").received("A", ebgp=False), session
+        )
+        assert fallback.local_pref > 1000
+        assert rr.stats["forced"] == 2
+        assert rr.stats["assigned"] == 1
+
+    def test_memoization_does_not_skew_counters(self):
+        # Repeated assignments of the same (egress, prefix) must count
+        # each call, memo hit or not — and misses are never memoized.
+        rr = make_reflector()
+        for _ in range(5):
+            rr.assign_geo_preference(ibgp_route("A"))
+        assert rr.stats["assigned"] == 5
+        for _ in range(3):
+            rr.assign_geo_preference(ibgp_route("nowhere"))
+        assert rr.stats["no_location"] == 3
+        missing = Route(
+            prefix=Prefix.parse("198.51.100.0/24"),
+            as_path=AsPath((100, 9)),
+            next_hop="A",
+        )
+        for _ in range(2):
+            rr.assign_geo_preference(missing)
+        assert rr.stats["no_geoip"] == 2
+        assert rr.stats["assigned"] == 5  # untouched by the miss paths

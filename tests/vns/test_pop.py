@@ -64,3 +64,22 @@ class TestFootprint:
     def test_nearest_pop(self):
         assert nearest_pop(city_by_name("Paris").location).code in ("LON", "AMS", "FRA")
         assert nearest_pop(city_by_name("Melbourne").location).code == "SYD"
+
+    def test_nearest_pop_matches_exact_haversine(self):
+        # The cached-trig fast path must agree with the textbook formula
+        # for every PoP from a spread of vantage points.
+        from repro.geo.coords import great_circle_km
+
+        for city in ("Paris", "Tokyo", "Atlanta", "Singapore", "Oslo"):
+            location = city_by_name(city).location
+            exact = min(POPS, key=lambda pop: great_circle_km(pop.location, location))
+            assert nearest_pop(location) is exact
+
+    def test_nearest_pop_among_subset(self):
+        paris = city_by_name("Paris").location
+        subset = [pop_by_code("SYD"), pop_by_code("TYO")]
+        assert nearest_pop(paris, among=subset).code == "TYO"
+
+    def test_nearest_pop_empty_candidates(self):
+        with pytest.raises(ValueError):
+            nearest_pop(city_by_name("Paris").location, among=[])
