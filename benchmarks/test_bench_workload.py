@@ -1,0 +1,149 @@
+"""Workload benchmark: population-scale campaign throughput baseline.
+
+Runs a seeded call campaign at SMALL and MEDIUM world scale through the
+batched :class:`~repro.workload.engine.CampaignEngine` and writes
+``BENCH_workload.json`` next to the repo root, so later campaign-path
+PRs are judged against recorded numbers:
+
+* campaign throughput — resolved calls per second end to end (resolve +
+  simulate + aggregate), plus the per-phase split off the perf timers;
+* path-cache effectiveness — the ``(entry_pop, dst_prefix)`` onward
+  cache hit rate, the number that makes population scale affordable;
+* batching — how many vectorised groups the campaign collapsed into.
+
+The MEDIUM campaign must clear 10k calls and be deterministic: the same
+seed reproduces the identical ``CampaignReport.to_json()``.
+
+Scales can be restricted for smoke runs (CI) with the
+``BENCH_WORKLOAD_SCALES`` environment variable, e.g.
+``BENCH_WORKLOAD_SCALES=small``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import perf
+from repro.experiments.common import build_world
+from repro.workload import CallArrivalProcess, CampaignEngine, UserPopulation
+
+BENCH_SEED = 7
+ALL_SCALES = ("small", "medium")
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_workload.json"
+
+#: Campaign sizing per scale.  MEDIUM is the headline: ~1200 users at 9
+#: calls/user/day is a >=10k-call day, big enough for the caches and the
+#: batching to carry the run.
+CAMPAIGNS: dict[str, dict] = {
+    "small": {"n_users": 300, "calls_per_user_day": 5.0},
+    "medium": {"n_users": 1200, "calls_per_user_day": 9.0},
+}
+
+#: Results accumulated across the parametrized scale tests, then emitted
+#: as BENCH_workload.json by the final test in this module.
+_results: dict[str, dict] = {}
+
+
+def enabled_scales() -> tuple[str, ...]:
+    requested = os.environ.get("BENCH_WORKLOAD_SCALES", "")
+    if not requested.strip():
+        return ALL_SCALES
+    chosen = tuple(
+        scale.strip().lower() for scale in requested.split(",") if scale.strip()
+    )
+    unknown = set(chosen) - set(ALL_SCALES)
+    if unknown:
+        raise ValueError(f"unknown BENCH_WORKLOAD_SCALES entries: {sorted(unknown)}")
+    return chosen
+
+
+def build_campaign(world, sizing: dict):
+    population = UserPopulation.sample(
+        world.topology, sizing["n_users"], seed=BENCH_SEED
+    )
+    arrivals = CallArrivalProcess(
+        population,
+        calls_per_user_day=sizing["calls_per_user_day"],
+        seed=BENCH_SEED,
+    )
+    return arrivals.generate(days=1)
+
+
+@pytest.mark.parametrize("scale", ALL_SCALES)
+def test_bench_workload(scale: str, show) -> None:
+    if scale not in enabled_scales():
+        pytest.skip(f"scale {scale!r} excluded by BENCH_WORKLOAD_SCALES")
+    sizing = CAMPAIGNS[scale]
+    start = time.perf_counter()
+    world = build_world(scale, seed=BENCH_SEED)
+    build_s = time.perf_counter() - start
+    calls = build_campaign(world, sizing)
+
+    perf.reset()
+    perf.enable()
+    try:
+        run = CampaignEngine(world.service, seed=BENCH_SEED).run(calls)
+        snap = perf.snapshot()
+    finally:
+        perf.disable()
+    stats = run.stats
+
+    phase_s = {
+        phase: round(snap["timers"][f"workload.{phase}"]["total_s"], 4)
+        for phase in ("resolve", "simulate", "aggregate")
+    }
+    _results[scale] = {
+        "world_build_s": round(build_s, 4),
+        "campaign": {
+            "users": sizing["n_users"],
+            "calls": stats.calls_resolved,
+            "calls_failed": stats.calls_failed,
+            "turn_allocations": stats.turn_allocations,
+        },
+        "engine": {
+            "elapsed_s": round(stats.elapsed_s, 4),
+            "calls_per_s": round(stats.calls_per_second, 1),
+            "onward_cache_hit_rate": round(stats.onward_hit_rate, 4),
+            "batches": stats.batches,
+            "largest_batch": stats.largest_batch,
+            "phase_s": phase_s,
+        },
+    }
+    show(
+        f"scale={scale}: {stats.calls_resolved} calls in {stats.elapsed_s:.2f}s"
+        f" ({stats.calls_per_second:,.0f} calls/s) | onward cache"
+        f" {stats.onward_hit_rate:.1%} | {stats.batches} batches"
+        f" (largest {stats.largest_batch}) | phases r/s/a ="
+        f" {phase_s['resolve']}/{phase_s['simulate']}/{phase_s['aggregate']}s"
+    )
+
+    assert stats.calls_resolved > 0
+    assert stats.calls_per_second > 50.0
+    assert 0.0 < stats.onward_hit_rate <= 1.0
+    if scale == "medium":
+        # The acceptance bar: a population-scale day, cache-dominated.
+        assert stats.calls_resolved >= 10_000
+        assert stats.onward_hit_rate > 0.5
+        # And reproducible bit for bit under the seed.
+        rerun = CampaignEngine(world.service, seed=BENCH_SEED).run(calls)
+        assert rerun.report.to_json() == run.report.to_json()
+
+
+def test_emit_bench_workload_json(show) -> None:
+    assert _results, "no scale ran — check BENCH_WORKLOAD_SCALES"
+    payload = {
+        "seed": BENCH_SEED,
+        "campaigns": {
+            scale: CAMPAIGNS[scale] for scale in _results
+        },
+        "scales": _results,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    show(f"wrote {JSON_PATH}")
+    for scale, record in _results.items():
+        assert record["engine"]["calls_per_s"] > 50.0, scale

@@ -34,6 +34,7 @@ from repro.dataplane.transmit import (
     simulate_ping,
     simulate_probe_round,
     simulate_stream,
+    simulate_stream_batch,
 )
 
 __all__ = [
@@ -57,5 +58,6 @@ __all__ = [
     "StreamResult",
     "simulate_ping",
     "simulate_stream",
+    "simulate_stream_batch",
     "simulate_probe_round",
 ]

@@ -20,6 +20,7 @@ fig11     Last-mile loss and geography (Sec. 5.2.2)
 table1    Last-mile loss by AS type (Sec. 5.2.3)
 fig12     Diurnal loss patterns (Sec. 5.2.3)
 failover  Fault injection / failover suite (beyond the paper)
+campaign  Population-scale call campaign (Sec. 5 at scale)
 ========  =====================================================
 """
 

@@ -1,0 +1,78 @@
+"""A population-scale call campaign over the built world (Sec. 5 scale).
+
+The Sec. 5 results aggregate a two-week production campaign; this driver
+is the synthetic analogue: sample a geo-weighted user population, draw a
+day (or more) of diurnally modulated call arrivals, run them through the
+batched :class:`~repro.workload.engine.CampaignEngine`, and render the
+per-corridor QoE table — delay/loss percentiles, lossy-slot fractions
+(Fig. 9's threshold accounting) and VNS-vs-Internet win rates
+(Figs. 6/7's dominance view).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import World
+from repro.workload import (
+    CallArrivalProcess,
+    CampaignEngine,
+    CampaignRun,
+    UserPopulation,
+)
+
+
+def run(
+    world: World,
+    *,
+    n_users: int = 200,
+    calls_per_user_day: float = 4.0,
+    days: int = 1,
+    multiparty_fraction: float = 0.15,
+    seed: int = 0,
+) -> CampaignRun:
+    """Run one seeded campaign over ``world``.
+
+    The population, arrival and engine seeds are derived from ``seed``
+    with fixed offsets, so one integer reproduces the whole campaign.
+    """
+    population = UserPopulation.sample(world.topology, n_users, seed=seed)
+    arrivals = CallArrivalProcess(
+        population,
+        calls_per_user_day=calls_per_user_day,
+        multiparty_fraction=multiparty_fraction,
+        seed=seed + 1,
+    )
+    engine = CampaignEngine(world.service, seed=seed + 2)
+    return engine.run(arrivals.generate(days=days))
+
+
+def render(campaign: CampaignRun) -> str:
+    """The campaign summary as rows (one per directed region pair)."""
+    stats = campaign.stats
+    report = campaign.report
+    lines = ["Campaign — population-scale QoE, VNS vs native Internet"]
+    lines.append(
+        f"  calls: {stats.calls_resolved} completed, {stats.calls_failed} unroutable;"
+        f" {report.turn_allocations} TURN-relayed multiparty legs"
+    )
+    # No wall-clock figures here: render output is deterministic under
+    # the seed (throughput lives in BENCH_workload.json).
+    lines.append(
+        f"  engine: {stats.batches} batches (largest {stats.largest_batch}),"
+        f" onward path-cache hit rate {stats.onward_hit_rate:.1%}"
+    )
+    lines.append(
+        "  corridor   calls   vns p50/p95 delay      loss"
+        "      inet p50/p95 delay      loss   delay-win  loss-win"
+    )
+    for key in sorted(report.pairs):
+        pair = report.pairs[key]
+        vns, inet = pair["vns"], pair["internet"]
+        lines.append(
+            f"  {key:<9} {pair['calls']:5d}"
+            f"   {vns['delay_ms']['p50']:6.1f}/{vns['delay_ms']['p95']:6.1f} ms"
+            f" {vns['loss_pct']['p95']:6.2f}%"
+            f"   {inet['delay_ms']['p50']:6.1f}/{inet['delay_ms']['p95']:6.1f} ms"
+            f" {inet['loss_pct']['p95']:6.2f}%"
+            f"   {pair['vns_delay_win_rate']:8.1%}  {pair['vns_loss_win_rate']:8.1%}"
+        )
+    return "\n".join(lines)

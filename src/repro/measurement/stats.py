@@ -146,6 +146,30 @@ class OnlineStats:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator into this one (Chan's parallel update).
+
+        Combines two independently accumulated summaries as if every
+        sample had been fed to a single accumulator — campaign shards
+        aggregate locally and merge, without keeping raw samples.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
     @property
     def mean(self) -> float:
         """Sample mean (0.0 when empty)."""

@@ -153,13 +153,18 @@ class VideoNetworkService:
         entry_pop: str,
         prefix: Prefix,
         destination: GeoPoint | None = None,
+        *,
+        decision: EgressDecision | None = None,
     ) -> DataPath | None:
         """Entry PoP → (L2 circuits) → egress PoP → Internet → destination.
 
         ``destination`` defaults to the prefix's true location.  Returns
-        ``None`` when VNS has no route for the prefix.
+        ``None`` when VNS has no route for the prefix.  Callers that have
+        already resolved the egress (``call_paths``, the campaign engine's
+        path cache) pass it via ``decision`` so the lookup runs once.
         """
-        decision = self.egress_decision(entry_pop, prefix)
+        if decision is None:
+            decision = self.egress_decision(entry_pop, prefix)
         if decision is None:
             return None
         if destination is None:
@@ -375,12 +380,14 @@ class VideoNetworkService:
         entry = self.anycast.entry_pop(src_origin.asn, src_location)
         if entry is None:
             return None
-        inbound = self.last_mile_path(src_prefix, src_location, entry.code)
-        onward = self.path_via_vns(entry.code, dst_prefix, destination=dst_location)
-        if onward is None:
-            return None
         decision = self.egress_decision(entry.code, dst_prefix)
-        assert decision is not None
+        if decision is None:
+            return None
+        inbound = self.last_mile_path(src_prefix, src_location, entry.code)
+        onward = self.path_via_vns(
+            entry.code, dst_prefix, destination=dst_location, decision=decision
+        )
+        assert onward is not None  # decision already resolved
         via_vns = inbound.concat(onward)
         via_vns.description = f"call-vns:{src_prefix}->{dst_prefix}"
 

@@ -1,0 +1,62 @@
+"""Population-scale call campaigns with batched QoE aggregation.
+
+The paper's results come from a two-week production measurement campaign
+(Sec. 5): real users placing real calls, aggregated per corridor.  This
+subpackage is that campaign's synthetic counterpart:
+
+* :mod:`~repro.workload.population` — a geo-weighted user base sampled
+  from the topology's prefixes;
+* :mod:`~repro.workload.arrivals` — diurnally modulated Poisson call
+  arrivals with Zipf callee popularity;
+* :mod:`~repro.workload.engine` — the cached/batched campaign runner;
+* :mod:`~repro.workload.report` — per-region-pair QoE aggregation with a
+  byte-stable JSON report.
+"""
+
+from repro.workload.arrivals import (
+    CALLEE_ZIPF_EXPONENT,
+    DURATION_CHOICES_S,
+    DURATION_WEIGHTS,
+    CallArrivalProcess,
+    CallSpec,
+    call_rate_profile,
+)
+from repro.workload.engine import (
+    CallResult,
+    CampaignEngine,
+    CampaignRun,
+    CampaignStats,
+)
+from repro.workload.population import (
+    DEFAULT_REGION_WEIGHTS,
+    User,
+    UserPopulation,
+)
+from repro.workload.report import (
+    LOSSY_SLOT_THRESHOLD,
+    REGION_CODE,
+    CampaignAggregator,
+    CampaignReport,
+    PairAccumulator,
+)
+
+__all__ = [
+    "CALLEE_ZIPF_EXPONENT",
+    "DURATION_CHOICES_S",
+    "DURATION_WEIGHTS",
+    "DEFAULT_REGION_WEIGHTS",
+    "LOSSY_SLOT_THRESHOLD",
+    "REGION_CODE",
+    "CallArrivalProcess",
+    "CallResult",
+    "CallSpec",
+    "CampaignAggregator",
+    "CampaignEngine",
+    "CampaignReport",
+    "CampaignRun",
+    "CampaignStats",
+    "PairAccumulator",
+    "User",
+    "UserPopulation",
+    "call_rate_profile",
+]

@@ -1,0 +1,189 @@
+"""Poisson call arrivals, diurnally modulated per caller region.
+
+Conferencing demand follows the clock: the paper's traffic peaks in each
+region's business hours (its Fig. 12 loss cycles are driven by the same
+local rhythms).  Arrivals here are an inhomogeneous Poisson process —
+per caller region, the hourly rate is the regional mean scaled by a
+:class:`~repro.dataplane.diurnal.DiurnalProfile` evaluated in that
+region's local time, normalised so the daily volume matches the
+configured calls-per-user-day exactly in expectation.
+
+Callees are drawn from a Zipf popularity ranking over the whole
+population (conference bridges and heavy users attract a dispropor-
+tionate share of calls), which is also what gives the campaign engine's
+``(entry_pop, dst_prefix)`` path cache its hit rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataplane.calibration import DIURNAL_REGION_AMPLITUDE
+from repro.dataplane.diurnal import DiurnalProfile
+from repro.geo.regions import WorldRegion
+from repro.workload.population import User, UserPopulation
+
+#: Call durations (seconds), quantised to whole 5 s slots so campaign
+#: batches stay large; weights roughly follow conferencing session mixes
+#: (many short 1:1 calls, a tail of long meetings).
+DURATION_CHOICES_S: tuple[float, ...] = (60.0, 120.0, 300.0, 600.0)
+DURATION_WEIGHTS: tuple[float, ...] = (0.35, 0.35, 0.2, 0.1)
+
+#: Zipf exponent for callee popularity.
+CALLEE_ZIPF_EXPONENT = 1.1
+
+
+def call_rate_profile(region: WorldRegion) -> DiurnalProfile:
+    """The diurnal shape of call demand in ``region``.
+
+    Business hours dominate (it is a conferencing product), with a
+    secondary evening bump; the swing amplitude reuses the calibrated
+    regional diurnal amplitudes.
+    """
+    return DiurnalProfile(
+        amplitude=DIURNAL_REGION_AMPLITUDE[region],
+        business_weight=1.0,
+        evening_weight=0.45,
+        floor=0.25,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class CallSpec:
+    """One scheduled call: who, when, for how long, over what."""
+
+    call_id: int
+    caller: User
+    callee: User
+    day: int
+    start_hour_cet: float
+    duration_s: float
+    multiparty: bool  #: relayed through the anycast TURN service
+
+
+class CallArrivalProcess:
+    """Generates :class:`CallSpec` sequences for a population.
+
+    Parameters
+    ----------
+    population:
+        The user base calls are drawn from (needs at least two users).
+    calls_per_user_day:
+        Mean calls placed per user per day (the Poisson intensity,
+        before diurnal modulation).
+    multiparty_fraction:
+        Probability a call is a TURN-relayed multiparty leg.
+    seed:
+        Drives every draw; the same seed reproduces the same campaign.
+
+    Raises
+    ------
+    ValueError
+        For a population of fewer than two users, a non-positive rate,
+        or a multiparty fraction outside [0, 1].
+    """
+
+    def __init__(
+        self,
+        population: UserPopulation,
+        *,
+        calls_per_user_day: float = 4.0,
+        multiparty_fraction: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        if len(population) < 2:
+            raise ValueError("arrivals need at least two users (caller and callee)")
+        if calls_per_user_day <= 0:
+            raise ValueError(
+                f"calls_per_user_day must be positive, got {calls_per_user_day!r}"
+            )
+        if not 0.0 <= multiparty_fraction <= 1.0:
+            raise ValueError(
+                f"multiparty_fraction must be in [0, 1], got {multiparty_fraction!r}"
+            )
+        self.population = population
+        self.calls_per_user_day = calls_per_user_day
+        self.multiparty_fraction = multiparty_fraction
+        self.seed = seed
+        # Zipf callee popularity over a seeded shuffle of the users, so
+        # rank is independent of sampling order.
+        rng = np.random.default_rng(seed ^ 0x5EEDC0DE)
+        order = rng.permutation(len(population.users))
+        ranks = np.empty(len(order), dtype=float)
+        ranks[order] = np.arange(1, len(order) + 1)
+        weights = ranks ** -CALLEE_ZIPF_EXPONENT
+        self._callee_probs = weights / weights.sum()
+
+    # ------------------------------------------------------------------ #
+
+    def _hourly_rates(self, region: WorldRegion, n_users: int) -> np.ndarray:
+        """Expected calls per CET hour bin for one region's users.
+
+        Normalised so the 24-bin sum equals ``n_users *
+        calls_per_user_day`` exactly — the diurnal profile shapes the
+        day, it does not change the volume.
+        """
+        profile = call_rate_profile(region)
+        factors = np.array(
+            [profile.factor_cet(hour + 0.5, region) for hour in range(24)]
+        )
+        daily = n_users * self.calls_per_user_day
+        return daily * factors / factors.sum()
+
+    def _pick_callee(self, rng: np.random.Generator, caller: User) -> User:
+        """A Zipf-popular callee distinct from the caller."""
+        users = self.population.users
+        while True:
+            callee = users[int(rng.choice(len(users), p=self._callee_probs))]
+            if callee.user_id != caller.user_id:
+                return callee
+
+    def generate(self, days: int = 1) -> list[CallSpec]:
+        """All calls of a ``days``-long campaign, ordered by start time.
+
+        Raises
+        ------
+        ValueError
+            For a non-positive day count.
+        """
+        if days <= 0:
+            raise ValueError(f"days must be positive, got {days!r}")
+        rng = np.random.default_rng(self.seed)
+        durations = np.array(DURATION_CHOICES_S)
+        duration_probs = np.array(DURATION_WEIGHTS) / sum(DURATION_WEIGHTS)
+
+        regions = sorted(self.population.by_region(), key=lambda r: r.value)
+        calls: list[tuple[float, User]] = []  # (absolute start hour, caller)
+        for region in regions:
+            users = self.population.users_in_region(region)
+            rates = self._hourly_rates(region, len(users))
+            for day in range(days):
+                for hour in range(24):
+                    n_calls = int(rng.poisson(rates[hour]))
+                    if n_calls == 0:
+                        continue
+                    offsets = rng.random(n_calls)
+                    callers = rng.integers(0, len(users), size=n_calls)
+                    for offset, caller_idx in zip(offsets, callers):
+                        start = day * 24.0 + hour + float(offset)
+                        calls.append((start, users[int(caller_idx)]))
+
+        calls.sort(key=lambda item: item[0])
+        specs: list[CallSpec] = []
+        for call_id, (start, caller) in enumerate(calls):
+            callee = self._pick_callee(rng, caller)
+            duration = float(durations[int(rng.choice(len(durations), p=duration_probs))])
+            specs.append(
+                CallSpec(
+                    call_id=call_id,
+                    caller=caller,
+                    callee=callee,
+                    day=int(start // 24.0),
+                    start_hour_cet=start % 24.0,
+                    duration_s=duration,
+                    multiparty=bool(rng.random() < self.multiparty_fraction),
+                )
+            )
+        return specs

@@ -1,0 +1,361 @@
+"""The campaign engine: resolve, simulate, aggregate — at population scale.
+
+The paper's evidence is a two-week production campaign over millions of
+calls; per-call path resolution and per-stream scalar simulation do not
+get anywhere near that volume.  The engine exploits the two kinds of
+redundancy a real campaign has:
+
+* **Paths repeat.**  Anycast entry depends only on the caller's prefix;
+  the VNS onward leg only on ``(entry_pop, dst_prefix)``; the Internet
+  leg only on the prefix pair.  Each is memoised, so a campaign touching
+  P prefixes resolves O(P²) paths once for O(calls) uses — the
+  ``(entry_pop, dst_prefix)`` cache hit rate is the headline number in
+  ``BENCH_workload.json``.
+* **Streams over one path are exchangeable.**  Calls sharing a path
+  signature (prefix pair, hour bin, duration) are simulated as one
+  vectorised :func:`~repro.dataplane.transmit.simulate_stream_batch`
+  draw instead of a Python loop of scalar draws.
+
+The three phases are instrumented with :mod:`repro.perf` timers
+(``workload.resolve`` / ``workload.simulate`` / ``workload.aggregate``)
+and counters; the engine also keeps its own :class:`CampaignStats` so
+hit rates are available without enabling perf.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import perf
+from repro.dataplane.path import DataPath, internet_path
+from repro.dataplane.link import SegmentKind
+from repro.dataplane.transmit import StreamResult, simulate_stream_batch
+from repro.media.turn import TurnService
+from repro.net.addressing import Prefix
+from repro.vns.network import EgressDecision
+from repro.vns.service import VideoNetworkService
+from repro.workload.arrivals import CallSpec
+from repro.workload.report import CampaignAggregator, CampaignReport
+
+#: Cache-miss sentinel (``None`` is a legitimate cached value).
+_MISS: object = object()
+
+
+@dataclass(slots=True)
+class CallResult:
+    """One completed call: the spec plus both transports' measurements."""
+
+    spec: CallSpec
+    entry_pop: str
+    egress_pop: str
+    via_vns: StreamResult
+    via_internet: StreamResult
+
+
+@dataclass(slots=True)
+class CampaignStats:
+    """Engine-side accounting for one campaign run."""
+
+    calls_total: int = 0
+    calls_failed: int = 0  #: routing failed to resolve either transport
+    onward_hits: int = 0
+    onward_misses: int = 0
+    internet_hits: int = 0
+    internet_misses: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    turn_allocations: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def calls_resolved(self) -> int:
+        return self.calls_total - self.calls_failed
+
+    @property
+    def onward_hit_rate(self) -> float:
+        """Hit rate of the ``(entry_pop, dst_prefix)`` path cache."""
+        lookups = self.onward_hits + self.onward_misses
+        return self.onward_hits / lookups if lookups else 0.0
+
+    @property
+    def calls_per_second(self) -> float:
+        return self.calls_resolved / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@dataclass(slots=True)
+class CampaignRun:
+    """Everything a campaign produces."""
+
+    results: list[CallResult]
+    report: CampaignReport
+    stats: CampaignStats
+
+
+@dataclass(slots=True)
+class _ResolvedPair:
+    """Cached end-to-end paths for one (src_prefix, dst_prefix) pair."""
+
+    entry_pop: str
+    egress_pop: str
+    via_vns: DataPath
+    via_internet: DataPath
+
+
+class CampaignEngine:
+    """Runs call campaigns against a :class:`VideoNetworkService`.
+
+    Parameters
+    ----------
+    service:
+        The VNS under test.
+    seed:
+        Drives the simulation draws (arrival randomness lives in the
+        :class:`~repro.workload.arrivals.CallArrivalProcess`).
+    packets_per_second / slot_s:
+        Stream shape, as for
+        :func:`~repro.dataplane.transmit.simulate_stream`.
+    """
+
+    def __init__(
+        self,
+        service: VideoNetworkService,
+        *,
+        seed: int = 0,
+        packets_per_second: float = 420.0,
+        slot_s: float = 5.0,
+    ) -> None:
+        self.service = service
+        self.seed = seed
+        self.packets_per_second = packets_per_second
+        self.slot_s = slot_s
+        self.turn = TurnService(service)
+        # Path caches, each keyed at the coarsest granularity that is
+        # still exact (see module docstring).
+        self._entry: dict[Prefix, str | None] = {}
+        self._lastmile: dict[tuple[Prefix, str], DataPath] = {}
+        self._onward: dict[tuple[str, Prefix], tuple[DataPath, EgressDecision] | None] = {}
+        self._internet: dict[tuple[Prefix, Prefix], DataPath | None] = {}
+        self._pairs: dict[tuple[Prefix, Prefix], _ResolvedPair | None] = {}
+
+    # ------------------------------------------------------------------ #
+    # resolution (cached)
+    # ------------------------------------------------------------------ #
+
+    def _entry_pop(self, prefix: Prefix) -> str | None:
+        entry = self._entry.get(prefix, _MISS)
+        if entry is not _MISS:
+            return entry
+        asn = self.service.topology.origin_of[prefix]
+        location = self.service.topology.prefix_location[prefix]
+        pop = self.service.anycast.entry_pop(asn, location)
+        code = None if pop is None else pop.code
+        self._entry[prefix] = code
+        return code
+
+    def _onward_leg(
+        self, entry_pop: str, dst_prefix: Prefix, stats: CampaignStats
+    ) -> tuple[DataPath, EgressDecision] | None:
+        key = (entry_pop, dst_prefix)
+        cached = self._onward.get(key, _MISS)
+        if cached is not _MISS:
+            stats.onward_hits += 1
+            perf.incr("workload.cache.onward_hit")
+            return cached
+        stats.onward_misses += 1
+        perf.incr("workload.cache.onward_miss")
+        decision = self.service.egress_decision(entry_pop, dst_prefix)
+        if decision is None:
+            self._onward[key] = None
+            return None
+        path = self.service.path_via_vns(entry_pop, dst_prefix, decision=decision)
+        assert path is not None  # decision already resolved
+        resolved = (path, decision)
+        self._onward[key] = resolved
+        return resolved
+
+    def _lastmile_leg(self, src_prefix: Prefix, entry_pop: str) -> DataPath:
+        key = (src_prefix, entry_pop)
+        path = self._lastmile.get(key)
+        if path is None:
+            location = self.service.topology.prefix_location[src_prefix]
+            path = self.service.last_mile_path(src_prefix, location, entry_pop)
+            self._lastmile[key] = path
+        return path
+
+    def _internet_leg(
+        self, src_prefix: Prefix, dst_prefix: Prefix, stats: CampaignStats
+    ) -> DataPath | None:
+        key = (src_prefix, dst_prefix)
+        cached = self._internet.get(key, _MISS)
+        if cached is not _MISS:
+            stats.internet_hits += 1
+            return cached
+        stats.internet_misses += 1
+        topology = self.service.topology
+        src_origin = topology.origin_as(src_prefix)
+        dst_origin = topology.origin_as(dst_prefix)
+        native = self.service.routing.path(src_origin.asn, dst_origin.asn)
+        if native is None:
+            self._internet[key] = None
+            return None
+        path = internet_path(
+            topology,
+            native[1:] if len(native) > 1 else native,
+            topology.prefix_location[src_prefix],
+            topology.prefix_location[dst_prefix],
+            destination_as_type=dst_origin.as_type,
+            first_segment_kind=SegmentKind.ACCESS,
+            description=f"call-inet:{src_prefix}->{dst_prefix}",
+        )
+        self._internet[key] = path
+        return path
+
+    def resolve_pair(
+        self, src_prefix: Prefix, dst_prefix: Prefix, stats: CampaignStats | None = None
+    ) -> _ResolvedPair | None:
+        """Both transports for a prefix pair, through every cache layer.
+
+        Matches :meth:`VideoNetworkService.call_paths` for users at the
+        prefixes' true locations; returns ``None`` when routing fails
+        either way, as ``call_paths`` does.
+        """
+        if stats is None:
+            stats = CampaignStats()
+        key = (src_prefix, dst_prefix)
+        cached = self._pairs.get(key, _MISS)
+        if cached is not _MISS:
+            # The pair cache short-circuits the per-leg caches; count the
+            # onward lookup it absorbed so hit rates reflect reuse.
+            stats.onward_hits += 1
+            stats.internet_hits += 1
+            perf.incr("workload.cache.onward_hit")
+            return cached
+        entry = self._entry_pop(src_prefix)
+        if entry is None:
+            self._pairs[key] = None
+            return None
+        onward = self._onward_leg(entry, dst_prefix, stats)
+        if onward is None:
+            self._pairs[key] = None
+            return None
+        onward_path, decision = onward
+        via_internet = self._internet_leg(src_prefix, dst_prefix, stats)
+        if via_internet is None:
+            self._pairs[key] = None
+            return None
+        via_vns = self._lastmile_leg(src_prefix, entry).concat(onward_path)
+        via_vns.description = f"call-vns:{src_prefix}->{dst_prefix}"
+        pair = _ResolvedPair(
+            entry_pop=entry,
+            egress_pop=decision.egress_pop,
+            via_vns=via_vns,
+            via_internet=via_internet,
+        )
+        self._pairs[key] = pair
+        return pair
+
+    # ------------------------------------------------------------------ #
+    # the campaign
+    # ------------------------------------------------------------------ #
+
+    def run(self, calls: list[CallSpec]) -> CampaignRun:
+        """Run a campaign: resolve every call, simulate in batches, aggregate.
+
+        Calls whose routing fails either way are counted in
+        ``stats.calls_failed`` and carry no measurement (the paper's
+        campaign likewise only reports completed calls).  Deterministic:
+        the same engine seed and call list produce an identical
+        :meth:`CampaignReport.to_json`.
+        """
+        stats = CampaignStats(calls_total=len(calls))
+        started = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+
+        # Phase 1: resolve paths and group calls by simulation signature.
+        # Hour is binned to whole hours (the diurnal models change slowly)
+        # so calls across a campaign day share batches.
+        resolved: list[tuple[CallSpec, _ResolvedPair]] = []
+        groups: dict[tuple[Prefix, Prefix, int, float], list[int]] = {}
+        with perf.timer("workload.resolve"):
+            for spec in calls:
+                pair = self.resolve_pair(spec.caller.prefix, spec.callee.prefix, stats)
+                if pair is None:
+                    stats.calls_failed += 1
+                    perf.incr("workload.calls.failed")
+                    continue
+                if spec.multiparty:
+                    # Multiparty legs relay via the TURN service at the
+                    # caller's (already resolved) anycast entry PoP.
+                    allocation = self.turn.relays[pair.entry_pop].allocate(
+                        f"user-{spec.caller.user_id}"
+                    )
+                    if allocation is not None:
+                        stats.turn_allocations += 1
+                index = len(resolved)
+                resolved.append((spec, pair))
+                key = (
+                    spec.caller.prefix,
+                    spec.callee.prefix,
+                    int(spec.start_hour_cet),
+                    spec.duration_s,
+                )
+                groups.setdefault(key, []).append(index)
+        perf.incr("workload.calls", len(calls))
+
+        # Phase 2: one batched draw per (path signature, transport).
+        results: list[CallResult | None] = [None] * len(resolved)
+        with perf.timer("workload.simulate"):
+            for (_, _, hour_bin, duration_s), indices in groups.items():
+                _, pair = resolved[indices[0]]
+                hour = hour_bin + 0.5
+                vns_streams = simulate_stream_batch(
+                    pair.via_vns,
+                    len(indices),
+                    duration_s=duration_s,
+                    packets_per_second=self.packets_per_second,
+                    slot_s=self.slot_s,
+                    hour_cet=hour,
+                    rng=rng,
+                )
+                inet_streams = simulate_stream_batch(
+                    pair.via_internet,
+                    len(indices),
+                    duration_s=duration_s,
+                    packets_per_second=self.packets_per_second,
+                    slot_s=self.slot_s,
+                    hour_cet=hour,
+                    rng=rng,
+                )
+                for slot, index in enumerate(indices):
+                    spec, _ = resolved[index]
+                    results[index] = CallResult(
+                        spec=spec,
+                        entry_pop=pair.entry_pop,
+                        egress_pop=pair.egress_pop,
+                        via_vns=vns_streams[slot],
+                        via_internet=inet_streams[slot],
+                    )
+                stats.batches += 1
+                stats.largest_batch = max(stats.largest_batch, len(indices))
+        perf.incr("workload.batches", stats.batches)
+
+        # Phase 3: fold into the per-region-pair report.
+        aggregator = CampaignAggregator()
+        with perf.timer("workload.aggregate"):
+            for result in results:
+                assert result is not None  # every resolved index is filled
+                aggregator.add(result)
+        stats.elapsed_s = time.perf_counter() - started
+        report = aggregator.report(
+            seed=self.seed,
+            n_failed=stats.calls_failed,
+            turn_allocations=stats.turn_allocations,
+        )
+        return CampaignRun(
+            results=[result for result in results if result is not None],
+            report=report,
+            stats=stats,
+        )

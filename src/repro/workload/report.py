@@ -1,0 +1,264 @@
+"""Campaign QoE aggregation per (source region, destination region).
+
+The paper reports its two-week campaign as per-corridor aggregates:
+loss CCDF thresholds (Fig. 9), VNS-vs-Internet dominance (Figs. 6/7),
+lossy-slot accounting (Sec. 5.1.2).  A campaign run reduces to the same
+shapes here — per directed region pair: delay and loss percentiles,
+the fraction of 5-second slots losing at least 2% of their packets, and
+the rate at which the VNS transport beats the native Internet path.
+
+Aggregation is streaming: an accumulator folds calls one at a time and
+two accumulators :meth:`merge <PairAccumulator.merge>` (shard-friendly,
+via :meth:`OnlineStats.merge`).  The final :class:`CampaignReport` is a
+plain dataclass whose :meth:`~CampaignReport.to_json` is byte-stable for
+a given campaign — seeded runs diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.geo.regions import WorldRegion
+from repro.measurement.stats import OnlineStats, percentile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.workload.engine import CallResult
+
+#: Short region codes for report keys ("AP->EU").
+REGION_CODE: dict[WorldRegion, str] = {
+    WorldRegion.OCEANIA: "OC",
+    WorldRegion.ASIA_PACIFIC: "AP",
+    WorldRegion.MIDDLE_EAST: "ME",
+    WorldRegion.AFRICA: "AF",
+    WorldRegion.EUROPE: "EU",
+    WorldRegion.NORTH_CENTRAL_AMERICA: "NA",
+    WorldRegion.SOUTH_AMERICA: "SA",
+}
+
+#: A slot is "lossy" when it loses at least this fraction of its packets
+#: (the campaign-scale analogue of the Fig. 9 slot accounting).
+LOSSY_SLOT_THRESHOLD = 0.02
+
+
+@dataclass(slots=True)
+class PairAccumulator:
+    """Streaming QoE accumulator for one directed region pair."""
+
+    src: str
+    dst: str
+    calls: int = 0
+    multiparty: int = 0
+    vns_delay: OnlineStats = field(default_factory=OnlineStats)
+    inet_delay: OnlineStats = field(default_factory=OnlineStats)
+    vns_loss: OnlineStats = field(default_factory=OnlineStats)
+    inet_loss: OnlineStats = field(default_factory=OnlineStats)
+    #: Raw per-call samples, kept for percentiles (the OnlineStats
+    #: moments alone merge sample-free; percentiles cannot).
+    vns_delay_samples: list[float] = field(default_factory=list)
+    inet_delay_samples: list[float] = field(default_factory=list)
+    vns_loss_samples: list[float] = field(default_factory=list)
+    inet_loss_samples: list[float] = field(default_factory=list)
+    vns_slots: int = 0
+    vns_lossy_slots: int = 0
+    inet_slots: int = 0
+    inet_lossy_slots: int = 0
+    vns_delay_wins: int = 0
+    vns_loss_wins: int = 0
+
+    def add(self, result: "CallResult") -> None:
+        """Fold one call into the pair."""
+        self.calls += 1
+        if result.spec.multiparty:
+            self.multiparty += 1
+        for stream, delay, loss, delay_samples, loss_samples in (
+            (
+                result.via_vns,
+                self.vns_delay,
+                self.vns_loss,
+                self.vns_delay_samples,
+                self.vns_loss_samples,
+            ),
+            (
+                result.via_internet,
+                self.inet_delay,
+                self.inet_loss,
+                self.inet_delay_samples,
+                self.inet_loss_samples,
+            ),
+        ):
+            delay.add(stream.rtt_ms)
+            loss.add(stream.loss_percent)
+            delay_samples.append(stream.rtt_ms)
+            loss_samples.append(stream.loss_percent)
+        self.vns_slots += result.via_vns.n_slots
+        self.vns_lossy_slots += _lossy_slots(result.via_vns)
+        self.inet_slots += result.via_internet.n_slots
+        self.inet_lossy_slots += _lossy_slots(result.via_internet)
+        if result.via_vns.rtt_ms <= result.via_internet.rtt_ms:
+            self.vns_delay_wins += 1
+        if result.via_vns.loss_percent <= result.via_internet.loss_percent:
+            self.vns_loss_wins += 1
+
+    def merge(self, other: "PairAccumulator") -> None:
+        """Fold another shard's accumulator for the same pair into this one.
+
+        Raises
+        ------
+        ValueError
+            If the pairs differ.
+        """
+        if (self.src, self.dst) != (other.src, other.dst):
+            raise ValueError(
+                f"cannot merge pair {other.src}->{other.dst} into {self.src}->{self.dst}"
+            )
+        self.calls += other.calls
+        self.multiparty += other.multiparty
+        self.vns_delay.merge(other.vns_delay)
+        self.inet_delay.merge(other.inet_delay)
+        self.vns_loss.merge(other.vns_loss)
+        self.inet_loss.merge(other.inet_loss)
+        self.vns_delay_samples.extend(other.vns_delay_samples)
+        self.inet_delay_samples.extend(other.inet_delay_samples)
+        self.vns_loss_samples.extend(other.vns_loss_samples)
+        self.inet_loss_samples.extend(other.inet_loss_samples)
+        self.vns_slots += other.vns_slots
+        self.vns_lossy_slots += other.vns_lossy_slots
+        self.inet_slots += other.inet_slots
+        self.inet_lossy_slots += other.inet_lossy_slots
+        self.vns_delay_wins += other.vns_delay_wins
+        self.vns_loss_wins += other.vns_loss_wins
+
+    def summary(self) -> dict:
+        """The pair's JSON-ready aggregate (floats rounded for stability)."""
+
+        def transport(
+            delay: OnlineStats,
+            loss: OnlineStats,
+            delay_samples: list[float],
+            loss_samples: list[float],
+            lossy: int,
+            slots: int,
+        ) -> dict:
+            return {
+                "delay_ms": {
+                    "mean": round(delay.mean, 4),
+                    "p50": round(percentile(delay_samples, 50), 4),
+                    "p95": round(percentile(delay_samples, 95), 4),
+                },
+                "loss_pct": {
+                    "mean": round(loss.mean, 6),
+                    "p50": round(percentile(loss_samples, 50), 6),
+                    "p95": round(percentile(loss_samples, 95), 6),
+                },
+                "lossy_slot_fraction": round(lossy / slots, 6) if slots else 0.0,
+            }
+
+        return {
+            "calls": self.calls,
+            "multiparty": self.multiparty,
+            "vns": transport(
+                self.vns_delay,
+                self.vns_loss,
+                self.vns_delay_samples,
+                self.vns_loss_samples,
+                self.vns_lossy_slots,
+                self.vns_slots,
+            ),
+            "internet": transport(
+                self.inet_delay,
+                self.inet_loss,
+                self.inet_delay_samples,
+                self.inet_loss_samples,
+                self.inet_lossy_slots,
+                self.inet_slots,
+            ),
+            "vns_delay_win_rate": round(self.vns_delay_wins / self.calls, 6),
+            "vns_loss_win_rate": round(self.vns_loss_wins / self.calls, 6),
+        }
+
+
+def _lossy_slots(stream) -> int:
+    """Slots losing at least :data:`LOSSY_SLOT_THRESHOLD` of their packets."""
+    if stream.n_slots == 0 or stream.packets_sent == 0:
+        return 0
+    slot_packets = stream.packets_sent / stream.n_slots
+    return int(
+        (np.asarray(stream.slot_losses) / slot_packets >= LOSSY_SLOT_THRESHOLD).sum()
+    )
+
+
+class CampaignAggregator:
+    """Folds :class:`CallResult`s into per-region-pair accumulators."""
+
+    def __init__(self) -> None:
+        self.pairs: dict[tuple[str, str], PairAccumulator] = {}
+
+    def add(self, result: "CallResult") -> None:
+        src = REGION_CODE[result.spec.caller.region]
+        dst = REGION_CODE[result.spec.callee.region]
+        accumulator = self.pairs.get((src, dst))
+        if accumulator is None:
+            accumulator = PairAccumulator(src=src, dst=dst)
+            self.pairs[(src, dst)] = accumulator
+        accumulator.add(result)
+
+    def merge(self, other: "CampaignAggregator") -> None:
+        """Fold another shard's aggregator into this one."""
+        for key, accumulator in other.pairs.items():
+            mine = self.pairs.get(key)
+            if mine is None:
+                self.pairs[key] = accumulator
+            else:
+                mine.merge(accumulator)
+
+    def report(
+        self,
+        *,
+        seed: int,
+        n_failed: int = 0,
+        turn_allocations: int = 0,
+    ) -> "CampaignReport":
+        """Freeze the accumulated state into a :class:`CampaignReport`."""
+        pair_summaries = {
+            f"{src}->{dst}": accumulator.summary()
+            for (src, dst), accumulator in self.pairs.items()
+        }
+        return CampaignReport(
+            seed=seed,
+            n_calls=sum(a.calls for a in self.pairs.values()),
+            n_failed=n_failed,
+            turn_allocations=turn_allocations,
+            pairs=pair_summaries,
+        )
+
+
+@dataclass(slots=True)
+class CampaignReport:
+    """The campaign's aggregate result, JSON-stable under a seed."""
+
+    seed: int
+    n_calls: int
+    n_failed: int
+    turn_allocations: int
+    pairs: dict[str, dict]
+
+    def pair(self, src_code: str, dst_code: str) -> dict | None:
+        """One directed pair's summary, or ``None`` if no calls matched."""
+        return self.pairs.get(f"{src_code}->{dst_code}")
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_calls": self.n_calls,
+            "n_failed": self.n_failed,
+            "turn_allocations": self.turn_allocations,
+            "pairs": self.pairs,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """A stable serialisation: sorted keys, rounded floats."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

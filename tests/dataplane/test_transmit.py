@@ -150,3 +150,54 @@ class TestSimulateProbeRound:
     def test_invalid_packets(self, rng):
         with pytest.raises(ValueError):
             simulate_probe_round(lossless_path(), packets=0, rng=rng)
+
+
+class TestSimulateStreamBatch:
+    def test_shapes_and_accounting(self, rng):
+        from repro.dataplane.transmit import simulate_stream_batch
+
+        results = simulate_stream_batch(transit_path(), 6, rng=rng)
+        assert len(results) == 6
+        for result in results:
+            assert result.n_slots == 24
+            assert result.packets_sent == 24 * 2100
+            assert 0 <= result.packets_lost <= result.packets_sent
+            assert result.rtt_ms == results[0].rtt_ms
+
+    def test_partial_final_slot(self, rng):
+        from repro.dataplane.transmit import simulate_stream_batch
+
+        results = simulate_stream_batch(transit_path(), 3, duration_s=12.0, rng=rng)
+        for result in results:
+            assert result.n_slots == 3
+            # 2 full slots of 5 s plus a 2 s tail at 420 pps.
+            assert result.packets_sent == 2 * 2100 + 840
+
+    def test_lossless_path_stays_lossless(self, rng):
+        from repro.dataplane.transmit import simulate_stream_batch
+
+        for result in simulate_stream_batch(lossless_path(), 4, rng=rng):
+            assert result.packets_lost == 0
+
+    def test_invalid_args(self, rng):
+        from repro.dataplane.transmit import simulate_stream_batch
+
+        with pytest.raises(ValueError):
+            simulate_stream_batch(transit_path(), 0, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_stream_batch(transit_path(), 3, duration_s=0, rng=rng)
+
+    def test_batch_matches_scalar_distribution(self, rng):
+        """Batched streams are distributed as scalar streams: compare the
+        mean loss and jitter of 300 of each."""
+        from repro.dataplane.transmit import simulate_stream_batch
+
+        n = 300
+        path = transit_path()
+        batch = simulate_stream_batch(path, n, hour_cet=20.0, rng=rng)
+        scalar = [simulate_stream(path, hour_cet=20.0, rng=rng) for _ in range(n)]
+        for metric in ("loss_percent", "jitter_p95_ms"):
+            b = np.array([getattr(r, metric) for r in batch])
+            s = np.array([getattr(r, metric) for r in scalar])
+            stderr = np.sqrt(b.var() / n + s.var() / n)
+            assert abs(b.mean() - s.mean()) < 4 * max(stderr, 1e-9), metric

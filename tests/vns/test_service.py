@@ -146,3 +146,131 @@ class TestStaticMoreSpecifics:
         orphan = Prefix.parse("172.31.0.0/24")
         with pytest.raises(ValueError):
             service.apply_static_more_specific(orphan, "SIN")
+
+
+class TestUpstreamPathFallback:
+    def test_distinct_upstreams_use_as_path(self, small_world):
+        """When the two PoPs' preferred upstreams differ, the transit leg
+        follows the AS-level route between them."""
+        service = small_world.service
+        pair = None
+        for src in ("LON", "SJS", "SIN", "AMS", "ASH"):
+            for dst in ("LON", "SJS", "SIN", "AMS", "ASH"):
+                if src == dst:
+                    continue
+                if service._preferred_upstream_at(src) != service._preferred_upstream_at(dst):
+                    pair = (src, dst)
+                    break
+            if pair:
+                break
+        assert pair is not None, "test world has a single upstream everywhere"
+        path = service.path_between_pops_via_upstream(*pair)
+        assert path.rtt_ms() > 0
+        assert path.description == f"transit:{pair[0]}->{pair[1]}"
+
+    def test_missing_route_falls_back_to_direct_pair(self, small_world, monkeypatch):
+        """If AS-level routing cannot resolve the upstream pair, the path
+        builder degrades to the two-hop (u_src, u_dst) chain instead of
+        failing the baseline measurement."""
+        service = small_world.service
+        pair = None
+        for src in ("LON", "SJS", "SIN", "AMS", "ASH"):
+            for dst in ("LON", "SJS", "SIN", "AMS", "ASH"):
+                if src != dst and service._preferred_upstream_at(
+                    src
+                ) != service._preferred_upstream_at(dst):
+                    pair = (src, dst)
+                    break
+            if pair:
+                break
+        assert pair is not None
+        reference = service.path_between_pops_via_upstream(*pair)
+        monkeypatch.setattr(service.routing, "path", lambda a, b: None)
+        fallback = service.path_between_pops_via_upstream(*pair)
+        assert fallback.rtt_ms() > 0
+        assert len(fallback.segments) <= len(reference.segments)
+
+    def test_shared_upstream_skips_routing(self, small_world, monkeypatch):
+        """A single shared upstream never consults AS-level routing."""
+        service = small_world.service
+        shared = None
+        for src in ("LON", "SJS", "SIN", "AMS", "ASH", "FRA", "NYC"):
+            for dst in ("LON", "SJS", "SIN", "AMS", "ASH", "FRA", "NYC"):
+                if src != dst and service._preferred_upstream_at(
+                    src
+                ) == service._preferred_upstream_at(dst):
+                    shared = (src, dst)
+                    break
+            if shared:
+                break
+        if shared is None:
+            pytest.skip("no PoP pair shares an upstream in this world")
+
+        def explode(a, b):  # pragma: no cover - must not be reached
+            raise AssertionError("routing.path consulted for shared upstream")
+
+        monkeypatch.setattr(service.routing, "path", explode)
+        path = service.path_between_pops_via_upstream(*shared)
+        assert path.rtt_ms() > 0
+
+
+class TestLondonDetour:
+    def test_prefix_hash_selection_deterministic(self, small_world):
+        """The detour decision is a pure function of (asn, prefix)."""
+        service = small_world.service
+        asn = service.deployment.main_upstream_at["LON"]
+        detours = {}
+        for prefix in service.topology.prefixes()[:60]:
+            first = service._london_detour_point(asn, prefix)
+            second = service._london_detour_point(asn, prefix)
+            assert first == second
+            detours[prefix] = first
+        # The hash selects three quarters of destinations: both outcomes
+        # must occur, and each must match the documented hash rule.
+        assert any(point is None for point in detours.values())
+        assert any(point is not None for point in detours.values())
+        for prefix, point in detours.items():
+            expected_local = (prefix.network >> 12) % 4 == 0
+            assert (point is None) == expected_local
+
+    def test_other_asn_never_detours(self, small_world):
+        service = small_world.service
+        asn = service.deployment.main_upstream_at["LON"]
+        other = next(a for a in service.topology.ases if a != asn)
+        for prefix in service.topology.prefixes()[:20]:
+            assert service._london_detour_point(other, prefix) is None
+
+
+class TestEgressResolvedOnce:
+    def test_call_paths_resolves_egress_once(self, small_world, monkeypatch):
+        """The egress decision is resolved a single time per call and
+        threaded through to the VNS path builder."""
+        service = small_world.service
+        prefixes = service.topology.prefixes()
+        src, dst = prefixes[1], prefixes[-2]
+        calls = []
+        original = service.network.egress_decision
+
+        def counting(entry_pop, prefix):
+            calls.append((entry_pop, prefix))
+            return original(entry_pop, prefix)
+
+        monkeypatch.setattr(service.network, "egress_decision", counting)
+        result = service.call_paths(
+            src,
+            service.topology.prefix_location[src],
+            dst,
+            service.topology.prefix_location[dst],
+        )
+        assert result is not None
+        assert len(calls) == 1
+
+    def test_path_via_vns_accepts_precomputed_decision(self, small_world):
+        service = small_world.service
+        prefix = service.topology.prefixes()[3]
+        decision = service.egress_decision("AMS", prefix)
+        assert decision is not None
+        with_decision = service.path_via_vns("AMS", prefix, decision=decision)
+        without = service.path_via_vns("AMS", prefix)
+        assert with_decision is not None and without is not None
+        assert with_decision.rtt_ms() == pytest.approx(without.rtt_ms())

@@ -1,0 +1,116 @@
+"""Tests for the diurnal Poisson call-arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    DURATION_CHOICES_S,
+    CallArrivalProcess,
+    call_rate_profile,
+)
+from repro.workload.population import UserPopulation
+
+
+@pytest.fixture(scope="module")
+def population(small_world):
+    return UserPopulation.sample(small_world.topology, 100, seed=21)
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self, population):
+        a = CallArrivalProcess(population, seed=5).generate(days=1)
+        b = CallArrivalProcess(population, seed=5).generate(days=1)
+        assert a == b
+
+    def test_different_seeds_differ(self, population):
+        a = CallArrivalProcess(population, seed=5).generate(days=1)
+        b = CallArrivalProcess(population, seed=6).generate(days=1)
+        assert a != b
+
+    def test_volume_matches_rate(self, population):
+        process = CallArrivalProcess(population, calls_per_user_day=4.0, seed=1)
+        calls = process.generate(days=2)
+        expected = len(population) * 4.0 * 2
+        # Poisson: 4 sigma around the mean.
+        assert abs(len(calls) - expected) < 4 * np.sqrt(expected)
+
+    def test_spec_fields_well_formed(self, population):
+        calls = CallArrivalProcess(population, seed=2).generate(days=2)
+        assert [spec.call_id for spec in calls] == list(range(len(calls)))
+        for spec in calls:
+            assert spec.callee.user_id != spec.caller.user_id
+            assert 0.0 <= spec.start_hour_cet < 24.0
+            assert spec.day in (0, 1)
+            assert spec.duration_s in DURATION_CHOICES_S
+
+    def test_calls_sorted_by_start(self, population):
+        calls = CallArrivalProcess(population, seed=2).generate(days=2)
+        starts = [spec.day * 24.0 + spec.start_hour_cet for spec in calls]
+        assert starts == sorted(starts)
+
+    def test_multiparty_fraction_respected(self, population):
+        process = CallArrivalProcess(
+            population, calls_per_user_day=8.0, multiparty_fraction=0.3, seed=4
+        )
+        calls = process.generate(days=2)
+        fraction = sum(spec.multiparty for spec in calls) / len(calls)
+        assert fraction == pytest.approx(0.3, abs=0.07)
+
+    def test_zero_multiparty(self, population):
+        calls = CallArrivalProcess(
+            population, multiparty_fraction=0.0, seed=4
+        ).generate(days=1)
+        assert not any(spec.multiparty for spec in calls)
+
+    def test_callee_popularity_is_skewed(self, population):
+        """Zipf callees: the busiest callee attracts far more than 1/N."""
+        calls = CallArrivalProcess(
+            population, calls_per_user_day=10.0, seed=9
+        ).generate(days=1)
+        counts: dict[int, int] = {}
+        for spec in calls:
+            counts[spec.callee.user_id] = counts.get(spec.callee.user_id, 0) + 1
+        top_share = max(counts.values()) / len(calls)
+        assert top_share > 3.0 / len(population)
+
+
+class TestDiurnalShape:
+    def test_hourly_rates_normalised(self, population):
+        process = CallArrivalProcess(population, calls_per_user_day=4.0, seed=1)
+        region = next(iter(population.by_region()))
+        n_users = len(population.users_in_region(region))
+        rates = process._hourly_rates(region, n_users)
+        assert rates.shape == (24,)
+        assert rates.sum() == pytest.approx(n_users * 4.0)
+
+    def test_rates_swing_with_the_clock(self, population):
+        """Business hours carry several times the night-floor rate."""
+        process = CallArrivalProcess(population, seed=1)
+        region = next(iter(population.by_region()))
+        rates = process._hourly_rates(region, 100)
+        assert rates.max() > 2.0 * rates.min()
+
+    def test_profile_region_specific(self):
+        from repro.geo.regions import WorldRegion
+
+        profiles = {
+            region: call_rate_profile(region).amplitude for region in WorldRegion
+        }
+        assert len(set(profiles.values())) > 1
+
+
+class TestValidation:
+    def test_too_small_population(self, small_world):
+        lone = UserPopulation.sample(small_world.topology, 1, seed=1)
+        with pytest.raises(ValueError):
+            CallArrivalProcess(lone)
+
+    def test_bad_rate_and_fraction(self, population):
+        with pytest.raises(ValueError):
+            CallArrivalProcess(population, calls_per_user_day=0.0)
+        with pytest.raises(ValueError):
+            CallArrivalProcess(population, multiparty_fraction=1.5)
+
+    def test_bad_days(self, population):
+        with pytest.raises(ValueError):
+            CallArrivalProcess(population, seed=1).generate(days=0)

@@ -1,0 +1,151 @@
+"""Tests for the batched campaign engine."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.transmit import simulate_stream
+from repro.workload.arrivals import CallArrivalProcess, CallSpec
+from repro.workload.engine import CampaignEngine
+from repro.workload.population import UserPopulation
+
+
+@pytest.fixture(scope="module")
+def campaign_inputs(small_world):
+    population = UserPopulation.sample(small_world.topology, 80, seed=31)
+    calls = CallArrivalProcess(
+        population, calls_per_user_day=3.0, seed=31
+    ).generate(days=1)
+    return population, calls
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        run_a = CampaignEngine(small_world.service, seed=8).run(calls)
+        run_b = CampaignEngine(small_world.service, seed=8).run(calls)
+        assert run_a.report.to_json() == run_b.report.to_json()
+
+    def test_different_seed_different_report(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        run_a = CampaignEngine(small_world.service, seed=8).run(calls)
+        run_b = CampaignEngine(small_world.service, seed=9).run(calls)
+        assert run_a.report.to_json() != run_b.report.to_json()
+
+
+class TestAccounting:
+    def test_stats_add_up(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        run = CampaignEngine(small_world.service, seed=8).run(calls)
+        stats = run.stats
+        assert stats.calls_total == len(calls)
+        assert stats.calls_resolved + stats.calls_failed == stats.calls_total
+        assert len(run.results) == stats.calls_resolved
+        assert run.report.n_calls == stats.calls_resolved
+        assert stats.batches <= stats.calls_resolved
+        assert stats.largest_batch >= 1
+        assert stats.elapsed_s > 0
+        assert stats.calls_per_second > 0
+
+    def test_path_cache_gets_hits(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        run = CampaignEngine(small_world.service, seed=8).run(calls)
+        assert run.stats.onward_misses > 0
+        assert run.stats.onward_hits > 0
+        assert 0.0 < run.stats.onward_hit_rate <= 1.0
+
+    def test_turn_allocations_follow_multiparty(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        engine = CampaignEngine(small_world.service, seed=8)
+        run = engine.run(calls)
+        multiparty = sum(
+            1 for result in run.results if result.spec.multiparty
+        )
+        assert run.stats.turn_allocations == multiparty
+        assert sum(engine.turn.requests_by_pop().values()) == multiparty
+
+
+class TestPathFidelity:
+    def test_matches_service_call_paths(self, small_world, campaign_inputs):
+        """Cached resolution must agree with the uncached facade."""
+        _, calls = campaign_inputs
+        run = CampaignEngine(small_world.service, seed=8).run(calls)
+        service = small_world.service
+        for result in run.results[:25]:
+            spec = result.spec
+            reference = service.call_paths(
+                spec.caller.prefix,
+                spec.caller.location,
+                spec.callee.prefix,
+                spec.callee.location,
+            )
+            assert reference is not None
+            assert result.entry_pop == reference.entry_pop
+            assert result.egress_pop == reference.exit_pop
+            assert result.via_vns.rtt_ms == pytest.approx(
+                reference.via_vns.rtt_ms()
+            )
+            assert result.via_internet.rtt_ms == pytest.approx(
+                reference.via_internet.rtt_ms()
+            )
+
+
+class TestBatchedConsistency:
+    def test_batch_matches_scalar_distribution(self, small_world, campaign_inputs):
+        """One big batch must be statistically consistent with a loop of
+        scalar ``simulate_stream`` calls over the same path."""
+        population, _ = campaign_inputs
+        caller, callee = population.users[0], population.users[1]
+        n = 256
+        calls = [
+            CallSpec(
+                call_id=i,
+                caller=caller,
+                callee=callee,
+                day=0,
+                start_hour_cet=12.25,
+                duration_s=120.0,
+                multiparty=False,
+            )
+            for i in range(n)
+        ]
+        engine = CampaignEngine(small_world.service, seed=8)
+        run = engine.run(calls)
+        assert run.stats.batches == 1  # identical signatures -> one group
+        assert run.stats.largest_batch == n
+        pair = engine.resolve_pair(caller.prefix, callee.prefix)
+        assert pair is not None
+
+        rng = np.random.default_rng(123)
+        scalar = [
+            simulate_stream(pair.via_vns, hour_cet=12.5, rng=rng) for _ in range(n)
+        ]
+        scalar_loss = np.array([s.loss_percent for s in scalar])
+        batch_loss = np.array([r.via_vns.loss_percent for r in run.results])
+        # Means within 4 combined standard errors of each other.
+        stderr = np.sqrt(
+            scalar_loss.var() / len(scalar_loss) + batch_loss.var() / len(batch_loss)
+        )
+        assert abs(scalar_loss.mean() - batch_loss.mean()) < 4 * max(stderr, 1e-9)
+
+        scalar_jitter = np.array([s.jitter_p95_ms for s in scalar])
+        batch_jitter = np.array([r.via_vns.jitter_p95_ms for r in run.results])
+        jitter_stderr = np.sqrt(
+            scalar_jitter.var() / len(scalar_jitter)
+            + batch_jitter.var() / len(batch_jitter)
+        )
+        assert abs(scalar_jitter.mean() - batch_jitter.mean()) < 4 * max(
+            jitter_stderr, 1e-9
+        )
+
+    def test_hour_binning_groups_within_hour(self, small_world, campaign_inputs):
+        """Calls in the same hour bin share one batch; different hours don't."""
+        population, _ = campaign_inputs
+        caller, callee = population.users[0], population.users[1]
+        calls = [
+            CallSpec(0, caller, callee, 0, 9.1, 120.0, False),
+            CallSpec(1, caller, callee, 0, 9.9, 120.0, False),
+            CallSpec(2, caller, callee, 0, 10.1, 120.0, False),
+        ]
+        run = CampaignEngine(small_world.service, seed=8).run(calls)
+        assert run.stats.batches == 2  # {hour 9: 2 calls}, {hour 10: 1 call}
+        assert run.stats.largest_batch == 2
