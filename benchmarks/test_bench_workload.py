@@ -9,10 +9,18 @@ PRs are judged against recorded numbers:
   simulate + aggregate), plus the per-phase split off the perf timers;
 * path-cache effectiveness — the ``(entry_pop, dst_prefix)`` onward
   cache hit rate, the number that makes population scale affordable;
-* batching — how many vectorised groups the campaign collapsed into.
+* batching — how many vectorised groups the campaign collapsed into;
+* sharding — the same campaign through
+  :class:`~repro.workload.sharded.ShardedCampaignRunner` at several
+  worker counts, with the simulate-phase speedup on the CPU critical
+  path (sequential simulate CPU seconds / the slowest shard's simulate
+  CPU seconds).  CPU seconds, not wall clock: the speedup is then the
+  fan-out's intrinsic scaling, unpolluted by how many physical cores the
+  benchmark host happens to have free.
 
 The MEDIUM campaign must clear 10k calls and be deterministic: the same
-seed reproduces the identical ``CampaignReport.to_json()``.
+seed reproduces the identical ``CampaignReport.to_json()`` — sequential
+and sharded alike, which every sharded row re-asserts byte for byte.
 
 Scales can be restricted for smoke runs (CI) with the
 ``BENCH_WORKLOAD_SCALES`` environment variable, e.g.
@@ -30,7 +38,14 @@ import pytest
 
 from repro import perf
 from repro.experiments.common import build_world
-from repro.workload import CallArrivalProcess, CampaignEngine, UserPopulation
+from repro.workload import (
+    CallArrivalProcess,
+    CampaignConfig,
+    CampaignEngine,
+    ShardedCampaignRunner,
+    ShardPlan,
+    UserPopulation,
+)
 
 BENCH_SEED = 7
 ALL_SCALES = ("small", "medium")
@@ -43,6 +58,18 @@ CAMPAIGNS: dict[str, dict] = {
     "small": {"n_users": 300, "calls_per_user_day": 5.0},
     "medium": {"n_users": 1200, "calls_per_user_day": 9.0},
 }
+
+#: Worker counts the sharded runner is benchmarked at.  MEDIUM carries
+#: the headline 1/2/4 sweep; SMALL keeps one 2-worker row so the smoke
+#: run (CI) still exercises a real spawn pool end to end.
+SHARD_WORKERS: dict[str, tuple[int, ...]] = {
+    "small": (2,),
+    "medium": (1, 2, 4),
+}
+
+#: The acceptance bar for the fan-out: at 2 workers on MEDIUM, the
+#: simulate-phase CPU critical path must shrink at least this much.
+MIN_SPEEDUP_CPU_AT_2 = 1.5
 
 #: Results accumulated across the parametrized scale tests, then emitted
 #: as BENCH_workload.json by the final test in this module.
@@ -87,17 +114,68 @@ def test_bench_workload(scale: str, show) -> None:
     perf.reset()
     perf.enable()
     try:
-        run = CampaignEngine(world.service, seed=BENCH_SEED).run(calls)
+        run = CampaignEngine(world.service, CampaignConfig(seed=BENCH_SEED)).run(calls)
         snap = perf.snapshot()
     finally:
         perf.disable()
+        perf.reset()
     stats = run.stats
 
     phase_s = {
         phase: round(snap["timers"][f"workload.{phase}"]["total_s"], 4)
         for phase in ("resolve", "simulate", "aggregate")
     }
+    sequential_json = run.report.to_json()
+    sequential_simulate_cpu = snap["timers"]["workload.simulate"]["cpu_s"]
+
+    shard_rows: dict[str, dict] = {}
+    for workers in SHARD_WORKERS[scale]:
+        plan = ShardPlan(n_workers=workers)
+        shard_start = time.perf_counter()
+        sharded = ShardedCampaignRunner(
+            world.service, CampaignConfig(seed=BENCH_SEED), plan
+        ).run(calls)
+        wall_s = time.perf_counter() - shard_start
+        # The contract the whole subsystem hangs on: byte-identical output.
+        assert sharded.report.to_json() == sequential_json, (scale, workers)
+        critical_cpu = sharded.simulate_critical_path_s(cpu=True)
+        speedup_cpu = sequential_simulate_cpu / critical_cpu if critical_cpu else 0.0
+        shard_rows[str(workers)] = {
+            "workers": workers,
+            "elapsed_s": round(wall_s, 4),
+            "report_byte_identical": True,
+            "simulate_critical_path_cpu_s": round(critical_cpu, 4),
+            "speedup_cpu": round(speedup_cpu, 2),
+            "per_shard": [
+                {
+                    "shard": outcome.index,
+                    "calls": outcome.n_calls,
+                    "in_process": outcome.in_process,
+                    "elapsed_s": round(outcome.elapsed_s, 4),
+                    "phase_s": {
+                        phase: {
+                            "total_s": round(entry["total_s"], 4),
+                            "cpu_s": round(entry["cpu_s"], 4),
+                        }
+                        for phase, entry in outcome.phase_s.items()
+                    },
+                }
+                for outcome in sharded.shards
+            ],
+        }
+        show(
+            f"scale={scale} shards@{workers}w: wall {wall_s:.2f}s,"
+            f" simulate critical path {critical_cpu:.2f}s cpu"
+            f" ({speedup_cpu:.2f}x vs sequential {sequential_simulate_cpu:.2f}s)"
+        )
+        if scale == "medium" and workers >= 2:
+            assert speedup_cpu >= MIN_SPEEDUP_CPU_AT_2, (workers, speedup_cpu)
+
     _results[scale] = {
+        "shards": {
+            "sequential_simulate_cpu_s": round(sequential_simulate_cpu, 4),
+            "by_workers": shard_rows,
+        },
         "world_build_s": round(build_s, 4),
         "campaign": {
             "users": sizing["n_users"],
@@ -130,7 +208,7 @@ def test_bench_workload(scale: str, show) -> None:
         assert stats.calls_resolved >= 10_000
         assert stats.onward_hit_rate > 0.5
         # And reproducible bit for bit under the seed.
-        rerun = CampaignEngine(world.service, seed=BENCH_SEED).run(calls)
+        rerun = CampaignEngine(world.service, CampaignConfig(seed=BENCH_SEED)).run(calls)
         assert rerun.report.to_json() == run.report.to_json()
 
 

@@ -2,9 +2,12 @@
 """Regenerate every paper figure/table in one run and print the report.
 
 The full reproduction harness, end to end: builds the world(s), runs all
-ten experiments (Figs. 3-7, 9-12, Table 1), and prints each one's rows.
-This is the same code the benchmarks time — here it runs at a smaller
-scale by default so the whole report takes a few minutes.
+ten figure experiments (Figs. 3-7, 9-12, Table 1) plus the sharded
+population campaign and the failover suite, and prints each one's rows.
+Experiments ported to the uniform API are driven through
+``repro.experiments.run(world, RunConfig.of(...)).render()``.  This is
+the same code the benchmarks time — here it runs at a smaller scale by
+default so the whole report takes a few minutes.
 
 Run:
     python examples/paper_report.py [small|medium]
@@ -16,11 +19,11 @@ import sys
 import time
 
 from repro.experiments import (
+    RunConfig,
     build_world,
     fig3_precision,
     fig4_egress,
     fig5_neighbors,
-    fig6_delay,
     fig7_incoming,
     fig9_video_loss,
     fig10_loss_nature,
@@ -28,6 +31,7 @@ from repro.experiments import (
     fig12_diurnal,
     table1_astype,
 )
+from repro.experiments import run as run_experiment
 from repro.experiments.lastmile import run_lastmile_campaign
 
 
@@ -64,8 +68,10 @@ def main() -> None:
     banner("Section 4.2.2 — Fig 5: transit vs peer routes")
     print(fig5_neighbors.render(fig5_neighbors.run(world)))
 
+    # Experiments ported to the uniform API run through one entry point:
+    # run_experiment(world, RunConfig.of(name, ...)).render().
     banner("Section 4.3 — Fig 6: delay difference VNS vs upstreams")
-    print(fig6_delay.render(fig6_delay.run(world)))
+    print(run_experiment(world, RunConfig.of("fig6")).render())
 
     banner("Section 4.4 — Fig 7: incoming anycast traffic")
     print(fig7_incoming.render(fig7_incoming.run(world, requests=2000)))
@@ -90,6 +96,16 @@ def main() -> None:
     print(table1_astype.render(table1_astype.run(world, data=data)))
     print()
     print(fig12_diurnal.render(fig12_diurnal.run(world, data=data)))
+
+    banner("Section 5 at scale — population campaign (sharded, 2 workers)")
+    print(
+        run_experiment(
+            world, RunConfig.of("campaign", n_users=120, seed=7, workers=2)
+        ).render()
+    )
+
+    banner("Beyond the paper — failover under injected faults")
+    print(run_experiment(world, RunConfig.of("failover")).render())
 
     print()
     print(f"Full report regenerated in {time.time() - t0:.0f}s.")

@@ -6,6 +6,12 @@ holding exactly the series the corresponding figure plots, plus a
 builds the shared simulation world at ``small`` (tests), ``medium``
 (benchmarks) or ``large`` scale.
 
+Ported modules also participate in the uniform experiment API: build a
+:class:`~repro.experiments.common.RunConfig`, call
+:func:`~repro.experiments.common.run`, and ``render()`` the returned
+:class:`~repro.experiments.common.ExperimentResult` — one shape for every
+driver.
+
 Experiment index (see DESIGN.md for the full mapping):
 
 ========  =====================================================
@@ -24,6 +30,22 @@ campaign  Population-scale call campaign (Sec. 5 at scale)
 ========  =====================================================
 """
 
-from repro.experiments.common import World, WorldScale, build_world
+from repro.experiments.common import (
+    EXPERIMENT_MODULES,
+    ExperimentResult,
+    RunConfig,
+    World,
+    WorldScale,
+    build_world,
+    run,
+)
 
-__all__ = ["World", "WorldScale", "build_world"]
+__all__ = [
+    "EXPERIMENT_MODULES",
+    "ExperimentResult",
+    "RunConfig",
+    "World",
+    "WorldScale",
+    "build_world",
+    "run",
+]

@@ -7,6 +7,14 @@ batched :class:`~repro.workload.engine.CampaignEngine`, and render the
 per-corridor QoE table — delay/loss percentiles, lossy-slot fractions
 (Fig. 9's threshold accounting) and VNS-vs-Internet win rates
 (Figs. 6/7's dominance view).
+
+Part of the uniform experiment API: ``run`` is reachable through
+:func:`repro.experiments.common.run` as ``RunConfig.of("campaign", ...)``
+and the returned :class:`~repro.workload.engine.CampaignRun` implements
+:class:`~repro.experiments.common.ExperimentResult`.  With ``workers >
+1`` the campaign executes through
+:class:`~repro.workload.sharded.ShardedCampaignRunner`; the report is
+byte-identical either way.
 """
 
 from __future__ import annotations
@@ -14,8 +22,11 @@ from __future__ import annotations
 from repro.experiments.common import World
 from repro.workload import (
     CallArrivalProcess,
+    CampaignConfig,
     CampaignEngine,
     CampaignRun,
+    ShardedCampaignRunner,
+    ShardPlan,
     UserPopulation,
 )
 
@@ -28,11 +39,16 @@ def run(
     days: int = 1,
     multiparty_fraction: float = 0.15,
     seed: int = 0,
+    workers: int = 1,
+    shard_plan: ShardPlan | None = None,
 ) -> CampaignRun:
     """Run one seeded campaign over ``world``.
 
     The population, arrival and engine seeds are derived from ``seed``
     with fixed offsets, so one integer reproduces the whole campaign.
+    ``workers > 1`` (or an explicit ``shard_plan``) runs the same calls
+    through the sharded multi-process runner — same seed derivation,
+    byte-identical report.
     """
     population = UserPopulation.sample(world.topology, n_users, seed=seed)
     arrivals = CallArrivalProcess(
@@ -41,38 +57,15 @@ def run(
         multiparty_fraction=multiparty_fraction,
         seed=seed + 1,
     )
-    engine = CampaignEngine(world.service, seed=seed + 2)
-    return engine.run(arrivals.generate(days=days))
+    calls = arrivals.generate(days=days)
+    config = CampaignConfig(seed=seed + 2)
+    if shard_plan is None and workers > 1:
+        shard_plan = ShardPlan(n_workers=workers)
+    if shard_plan is not None:
+        return ShardedCampaignRunner(world.service, config, shard_plan).run(calls)
+    return CampaignEngine(world.service, config).run(calls)
 
 
 def render(campaign: CampaignRun) -> str:
     """The campaign summary as rows (one per directed region pair)."""
-    stats = campaign.stats
-    report = campaign.report
-    lines = ["Campaign — population-scale QoE, VNS vs native Internet"]
-    lines.append(
-        f"  calls: {stats.calls_resolved} completed, {stats.calls_failed} unroutable;"
-        f" {report.turn_allocations} TURN-relayed multiparty legs"
-    )
-    # No wall-clock figures here: render output is deterministic under
-    # the seed (throughput lives in BENCH_workload.json).
-    lines.append(
-        f"  engine: {stats.batches} batches (largest {stats.largest_batch}),"
-        f" onward path-cache hit rate {stats.onward_hit_rate:.1%}"
-    )
-    lines.append(
-        "  corridor   calls   vns p50/p95 delay      loss"
-        "      inet p50/p95 delay      loss   delay-win  loss-win"
-    )
-    for key in sorted(report.pairs):
-        pair = report.pairs[key]
-        vns, inet = pair["vns"], pair["internet"]
-        lines.append(
-            f"  {key:<9} {pair['calls']:5d}"
-            f"   {vns['delay_ms']['p50']:6.1f}/{vns['delay_ms']['p95']:6.1f} ms"
-            f" {vns['loss_pct']['p95']:6.2f}%"
-            f"   {inet['delay_ms']['p50']:6.1f}/{inet['delay_ms']['p95']:6.1f} ms"
-            f" {inet['loss_pct']['p95']:6.2f}%"
-            f"   {pair['vns_delay_win_rate']:8.1%}  {pair['vns_loss_win_rate']:8.1%}"
-        )
-    return "\n".join(lines)
+    return campaign.render()

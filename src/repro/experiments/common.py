@@ -10,7 +10,9 @@ scale and reports the same shapes.
 from __future__ import annotations
 
 import enum
+import importlib
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -134,3 +136,82 @@ def build_world(
 def experiment_rng(world: World, salt: int) -> np.random.Generator:
     """A dedicated generator per experiment so runs stay independent."""
     return np.random.default_rng(world.seed * 1_000_003 + salt)
+
+
+# --------------------------------------------------------------------- #
+# the uniform experiment API
+# --------------------------------------------------------------------- #
+
+
+@runtime_checkable
+class ExperimentResult(Protocol):
+    """What every experiment ``run`` returns: a result that renders.
+
+    Structurally typed — a result participates by growing a ``render()``
+    method, no inheritance required.  The per-experiment result classes
+    (:class:`~repro.workload.engine.CampaignRun`,
+    :class:`~repro.experiments.failover.FailoverResult`, ...) keep their
+    figure-specific accessors; ``render()`` is the one shape drivers such
+    as ``examples/paper_report.py`` rely on.
+    """
+
+    def render(self) -> str:
+        """The experiment's rows as text (what the paper's figure shows)."""
+        ...
+
+
+#: Experiment names accepted by :func:`run` — short name → module.
+EXPERIMENT_MODULES: dict[str, str] = {
+    "campaign": "repro.experiments.campaign",
+    "failover": "repro.experiments.failover",
+    "fig6": "repro.experiments.fig6_delay",
+    "fig6_delay": "repro.experiments.fig6_delay",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class RunConfig:
+    """A uniform, hashable experiment invocation.
+
+    ``experiment`` picks the module (a key of :data:`EXPERIMENT_MODULES`);
+    ``options`` carries that experiment's keyword arguments as a sorted
+    tuple of pairs so configs stay frozen and comparable.  Build one with
+    :meth:`of` rather than spelling the tuple out.
+    """
+
+    experiment: str
+    options: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, experiment: str, **options: object) -> "RunConfig":
+        return cls(experiment=experiment, options=tuple(sorted(options.items())))
+
+    def kwargs(self) -> dict[str, object]:
+        return dict(self.options)
+
+    def replace(self, **options: object) -> "RunConfig":
+        """A copy with ``options`` overriding/extending the current ones."""
+        merged = self.kwargs() | options
+        return RunConfig.of(self.experiment, **merged)
+
+
+def run(world: World, config: RunConfig) -> ExperimentResult:
+    """Run the experiment ``config`` names over ``world``.
+
+    The single entry point drivers use: ``run(world, RunConfig.of(
+    "campaign", n_users=120)).render()``.  Experiments not yet ported to
+    the uniform API are simply absent from :data:`EXPERIMENT_MODULES`
+    (call their module's ``run`` directly).
+    """
+    module_name = EXPERIMENT_MODULES.get(config.experiment)
+    if module_name is None:
+        known = ", ".join(sorted(set(EXPERIMENT_MODULES)))
+        raise KeyError(f"unknown experiment {config.experiment!r} (known: {known})")
+    module = importlib.import_module(module_name)
+    result = module.run(world, **config.kwargs())
+    if not isinstance(result, ExperimentResult):  # pragma: no cover - port bug
+        raise TypeError(
+            f"{module_name}.run returned {type(result).__name__}, "
+            "which does not implement ExperimentResult.render()"
+        )
+    return result

@@ -82,6 +82,47 @@ class FailoverResult:
         """Blackholes still present after each scenario's final repair."""
         return sum(len(s.permanent_blackholes) for s in self.scenarios)
 
+    def render(self) -> str:
+        """The failover summary as rows (the uniform-API entry point)."""
+        lines = ["Failover — reconvergence cost and loss under faults"]
+        lines.append(
+            "  scenario                                  msgs   bh-during  bh-perm"
+            "  loss steady->failover->recovered"
+        )
+        for scenario in self.scenarios:
+            during = max(
+                (len(i.blackholes_during) for i in scenario.impacts), default=0
+            )
+            media = scenario.media
+            loss = (
+                f"{media.steady_loss_percent:5.2f}% ->{media.failover_loss_percent:6.2f}%"
+                f" ->{media.recovered_loss_percent:5.2f}%"
+                if media is not None
+                else "        (control plane only)"
+            )
+            lines.append(
+                f"  {scenario.name:<41} {scenario.total_messages:5d}"
+                f"   {during:7d}  {len(scenario.permanent_blackholes):7d}  {loss}"
+            )
+        if not self.impacts():
+            lines.append("  (no fault events measured)")
+            return "\n".join(lines)
+        message_cdf = self.message_cdf()
+        window_cdf = self.window_cdf()
+        lines.append(
+            "  reconvergence msgs/event: "
+            f"p50={message_cdf.quantile(0.5):.0f}"
+            f" p90={message_cdf.quantile(0.9):.0f}"
+            f" max={message_cdf.quantile(1.0):.0f}"
+        )
+        lines.append(
+            "  failover window (s):      "
+            f"p50={window_cdf.quantile(0.5):.2f}"
+            f" p90={window_cdf.quantile(0.9):.2f}"
+            f" max={window_cdf.quantile(1.0):.2f}"
+        )
+        return "\n".join(lines)
+
 
 def run(
     world: World,
@@ -131,39 +172,5 @@ def run(
 
 
 def render(result: FailoverResult) -> str:
-    """The failover summary as rows."""
-    lines = ["Failover — reconvergence cost and loss under faults"]
-    lines.append(
-        "  scenario                                  msgs   bh-during  bh-perm"
-        "  loss steady->failover->recovered"
-    )
-    for scenario in result.scenarios:
-        during = max(
-            (len(i.blackholes_during) for i in scenario.impacts), default=0
-        )
-        media = scenario.media
-        loss = (
-            f"{media.steady_loss_percent:5.2f}% ->{media.failover_loss_percent:6.2f}%"
-            f" ->{media.recovered_loss_percent:5.2f}%"
-            if media is not None
-            else "        (control plane only)"
-        )
-        lines.append(
-            f"  {scenario.name:<41} {scenario.total_messages:5d}"
-            f"   {during:7d}  {len(scenario.permanent_blackholes):7d}  {loss}"
-        )
-    message_cdf = result.message_cdf()
-    window_cdf = result.window_cdf()
-    lines.append(
-        "  reconvergence msgs/event: "
-        f"p50={message_cdf.quantile(0.5):.0f}"
-        f" p90={message_cdf.quantile(0.9):.0f}"
-        f" max={message_cdf.quantile(1.0):.0f}"
-    )
-    lines.append(
-        "  failover window (s):      "
-        f"p50={window_cdf.quantile(0.5):.2f}"
-        f" p90={window_cdf.quantile(0.9):.2f}"
-        f" max={window_cdf.quantile(1.0):.2f}"
-    )
-    return "\n".join(lines)
+    """The failover summary as rows (delegates to the result)."""
+    return result.render()

@@ -33,6 +33,18 @@ class Fig6Result:
     def measured(self, pop_code: str) -> int:
         return len(self.diffs_by_pop.get(pop_code, []))
 
+    def render(self) -> str:
+        """Fig. 6 as rows (the uniform-API entry point)."""
+        lines = ["Fig 6 — RTT(VNS) - RTT(upstream) per vantage PoP"]
+        lines.append("  PoP   n      <=0ms    <=50ms")
+        for code, diffs in self.diffs_by_pop.items():
+            lines.append(
+                f"  {code:<4} {len(diffs):5d}"
+                f"  {self.fraction_vns_not_worse(code) * 100:6.1f}%"
+                f"  {self.fraction_within(code, 50.0) * 100:6.1f}%"
+            )
+        return "\n".join(lines)
+
 
 #: The three vantage points Fig. 6 plots.
 DEFAULT_VANTAGES = ("SIN", "AMS", "SJS")
@@ -81,12 +93,5 @@ def run(
 
 
 def render(result: Fig6Result) -> str:
-    """Fig. 6 as rows."""
-    lines = ["Fig 6 — RTT(VNS) - RTT(upstream) per vantage PoP"]
-    lines.append("  PoP   n      <=0ms    <=50ms")
-    for code, diffs in result.diffs_by_pop.items():
-        lines.append(
-            f"  {code:<4} {len(diffs):5d}  {result.fraction_vns_not_worse(code) * 100:6.1f}%"
-            f"  {result.fraction_within(code, 50.0) * 100:6.1f}%"
-        )
-    return "\n".join(lines)
+    """Fig. 6 as rows (delegates to the result)."""
+    return result.render()

@@ -6,6 +6,7 @@ benchmark or investigation that wants the numbers.
 """
 
 from repro.perf.counters import (
+    PerfSnapshot,
     add_time,
     counter,
     disable,
@@ -14,12 +15,14 @@ from repro.perf.counters import (
     is_enabled,
     report,
     reset,
+    restore,
     snapshot,
     timed,
     timer,
 )
 
 __all__ = [
+    "PerfSnapshot",
     "add_time",
     "counter",
     "disable",
@@ -28,6 +31,7 @@ __all__ = [
     "is_enabled",
     "report",
     "reset",
+    "restore",
     "snapshot",
     "timed",
     "timer",

@@ -15,19 +15,29 @@ Two probe flavours:
 
 * counters — :func:`incr` adds to a named event count;
 * timers — :func:`timer` (context manager) and :func:`timed` (decorator)
-  accumulate wall-clock seconds and a call count under a name.
+  accumulate wall-clock *and* CPU seconds plus a call count under a name.
 
 Names are dotted paths (``"bgp.engine.run"``); the registry is flat.
+
+The public read API is the :class:`PerfSnapshot` value type returned by
+:func:`snapshot`: an immutable view that supports :meth:`PerfSnapshot.merge`
+(fold another process's numbers in — how campaign shards reduce),
+:meth:`PerfSnapshot.diff` (what happened since a ``before`` snapshot) and
+:meth:`PerfSnapshot.to_dict` (JSON-ready).  Consumers should go through
+snapshots rather than reaching into this module's registries.
+
 The module is intentionally not thread-safe: the simulation is
-single-threaded and the probes must stay cheap.
+single-threaded and the probes must stay cheap.  Worker processes each
+carry their own registry; their snapshots merge in the parent.
 """
 
 from __future__ import annotations
 
 import functools
 import time
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Mapping
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Any, TypeVar
 
 F = TypeVar("F", bound=Callable[..., Any])
@@ -38,7 +48,7 @@ enabled = False
 
 #: name -> event count (plain counters).
 _counts: dict[str, int] = {}
-#: name -> (calls, total seconds) for timed regions.
+#: name -> [calls, total wall seconds, total CPU seconds] for timed regions.
 _timings: dict[str, list[float]] = {}
 
 
@@ -70,15 +80,24 @@ def incr(name: str, n: int = 1) -> None:
         _counts[name] = _counts.get(name, 0) + n
 
 
-def add_time(name: str, seconds: float, calls: int = 1) -> None:
-    """Credit ``seconds`` of wall time to the timer ``name``."""
+def add_time(
+    name: str, seconds: float, calls: int = 1, cpu_seconds: float | None = None
+) -> None:
+    """Credit ``seconds`` of wall time (and optionally CPU time) to ``name``.
+
+    Callers that only measure wall clock leave ``cpu_seconds`` unset; the
+    CPU column then mirrors the wall column, which is exact for the
+    single-threaded simulation whenever the process is not preempted.
+    """
     if enabled:
+        cpu = seconds if cpu_seconds is None else cpu_seconds
         entry = _timings.get(name)
         if entry is None:
-            _timings[name] = [calls, seconds]
+            _timings[name] = [calls, seconds, cpu]
         else:
             entry[0] += calls
             entry[1] += seconds
+            entry[2] += cpu
 
 
 @contextmanager
@@ -88,10 +107,15 @@ def timer(name: str) -> Iterator[None]:
         yield
         return
     start = time.perf_counter()
+    start_cpu = time.process_time()
     try:
         yield
     finally:
-        add_time(name, time.perf_counter() - start)
+        add_time(
+            name,
+            time.perf_counter() - start,
+            cpu_seconds=time.process_time() - start_cpu,
+        )
 
 
 def timed(name: str) -> Callable[[F], F]:
@@ -103,10 +127,15 @@ def timed(name: str) -> Callable[[F], F]:
             if not enabled:
                 return fn(*args, **kwargs)
             start = time.perf_counter()
+            start_cpu = time.process_time()
             try:
                 return fn(*args, **kwargs)
             finally:
-                add_time(name, time.perf_counter() - start)
+                add_time(
+                    name,
+                    time.perf_counter() - start,
+                    cpu_seconds=time.process_time() - start_cpu,
+                )
 
         return wrapper  # type: ignore[return-value]
 
@@ -118,18 +147,113 @@ def counter(name: str) -> int:
     return _counts.get(name, 0)
 
 
-def snapshot() -> dict[str, dict[str, float]]:
-    """All accumulated data, JSON-friendly.
+@dataclass(frozen=True)
+class PerfSnapshot:
+    """An immutable point-in-time view of accumulated perf data.
 
-    ``{"counters": {name: count}, "timers": {name: {"calls", "total_s"}}}``
+    ``counters`` maps names to event counts; ``timers`` maps names to
+    ``{"calls", "total_s", "cpu_s"}`` dicts.  Snapshots are values:
+    :meth:`merge` and :meth:`diff` return new snapshots and never touch
+    the live registry.  For backwards compatibility with the original
+    dict-shaped API, ``snap["counters"]`` / ``snap["timers"]`` also work.
     """
-    return {
-        "counters": dict(_counts),
-        "timers": {
-            name: {"calls": calls, "total_s": total}
-            for name, (calls, total) in _timings.items()
+
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @classmethod
+    def of_counters(cls, counters: Mapping[str, int]) -> "PerfSnapshot":
+        """A counters-only snapshot (e.g. engine or geo-RR stats)."""
+        return cls(counters={k: int(v) for k, v in counters.items()}, timers={})
+
+    def merge(self, other: "PerfSnapshot") -> "PerfSnapshot":
+        """This snapshot plus ``other`` (counters and timers summed).
+
+        The shard-reduce operation: each worker snapshots its own
+        registry, the parent folds them together.
+        """
+        counters = dict(self.counters)
+        for name, count in other.counters.items():
+            counters[name] = counters.get(name, 0) + count
+        timers = {name: dict(entry) for name, entry in self.timers.items()}
+        for name, entry in other.timers.items():
+            mine = timers.get(name)
+            if mine is None:
+                timers[name] = dict(entry)
+            else:
+                mine["calls"] += entry["calls"]
+                mine["total_s"] += entry["total_s"]
+                mine["cpu_s"] += entry["cpu_s"]
+        return PerfSnapshot(counters=counters, timers=timers)
+
+    def diff(self, before: "PerfSnapshot") -> "PerfSnapshot":
+        """What happened since ``before`` (never negative; empty rows drop)."""
+        counters = {}
+        for name, count in self.counters.items():
+            delta = count - before.counters.get(name, 0)
+            if delta > 0:
+                counters[name] = delta
+        timers = {}
+        for name, entry in self.timers.items():
+            prior = before.timers.get(name, _ZERO_TIMER)
+            calls = entry["calls"] - prior["calls"]
+            if calls <= 0:
+                continue
+            timers[name] = {
+                "calls": calls,
+                "total_s": max(entry["total_s"] - prior["total_s"], 0.0),
+                "cpu_s": max(entry["cpu_s"] - prior["cpu_s"], 0.0),
+            }
+        return PerfSnapshot(counters=counters, timers=timers)
+
+    def timer_s(self, name: str, *, cpu: bool = False) -> float:
+        """Total seconds accumulated under one timer (0.0 if absent)."""
+        entry = self.timers.get(name)
+        if entry is None:
+            return 0.0
+        return entry["cpu_s"] if cpu else entry["total_s"]
+
+    def to_dict(self) -> dict:
+        """JSON-ready copy: ``{"counters": ..., "timers": ...}``."""
+        return {
+            "counters": dict(self.counters),
+            "timers": {name: dict(entry) for name, entry in self.timers.items()},
+        }
+
+    def __getitem__(self, key: str):
+        if key == "counters":
+            return self.counters
+        if key == "timers":
+            return self.timers
+        raise KeyError(key)
+
+
+_ZERO_TIMER = {"calls": 0, "total_s": 0.0, "cpu_s": 0.0}
+
+
+def snapshot() -> PerfSnapshot:
+    """A :class:`PerfSnapshot` of all accumulated data."""
+    return PerfSnapshot(
+        counters=dict(_counts),
+        timers={
+            name: {"calls": calls, "total_s": total, "cpu_s": cpu}
+            for name, (calls, total, cpu) in _timings.items()
         },
-    }
+    )
+
+
+def restore(snap: PerfSnapshot) -> None:
+    """Reset the live registry to exactly ``snap``'s contents.
+
+    Lets a caller run an instrumented region on a clean slate and then
+    put the world back (the in-process shard fallback does this when the
+    surrounding code had perf disabled).
+    """
+    _counts.clear()
+    _counts.update(snap.counters)
+    _timings.clear()
+    for name, entry in snap.timers.items():
+        _timings[name] = [entry["calls"], entry["total_s"], entry["cpu_s"]]
 
 
 def report() -> str:
@@ -141,7 +265,7 @@ def report() -> str:
         lines.append("  (none)")
     lines.append("perf timers:")
     for name in sorted(_timings):
-        calls, total = _timings[name]
+        calls, total, _cpu = _timings[name]
         per_call = total / calls if calls else 0.0
         lines.append(
             f"  {name:<40} {int(calls):>8} calls  {total:>9.4f}s total"

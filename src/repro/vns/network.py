@@ -55,6 +55,29 @@ class EgressDecision:
         return self.entry_pop == self.egress_pop
 
 
+@dataclass(slots=True)
+class IgpMetricFromRouter:
+    """IGP metric from one router to a BGP next hop (0 for external).
+
+    A picklable callable (campaign shards ship whole worlds to worker
+    processes) that looks the SPF table up per call rather than capturing
+    it, so the metric tracks IGP reconvergence after link/PoP faults: a
+    next hop at an unreachable or failed router costs ``inf``.
+    """
+
+    network: "VnsNetwork"
+    router_id: str
+
+    def __call__(self, next_hop: str) -> float:
+        network = self.network
+        if next_hop not in network.pop_of_router:
+            return 0.0  # external next hop resolved over the local session
+        spf = network._router_spf.get(self.router_id)
+        if spf is None:
+            return float("inf")  # this router's own PoP is down
+        return spf.metric_to(next_hop)
+
+
 def external_peer_id(asn: int, router_id: str) -> str:
     """The synthetic identifier of a neighbour AS's session endpoint."""
     return f"x{asn}@{router_id}"
@@ -141,23 +164,9 @@ class VnsNetwork:
     # construction
     # ----------------------------------------------------------------- #
 
-    def _igp_metric_fn(self, router_id: str):
-        """Metric from ``router_id`` to a BGP next hop (0 for external).
-
-        Looks the SPF table up per call rather than capturing it, so the
-        metric tracks IGP reconvergence after link/PoP faults: a next hop
-        at an unreachable or failed router costs ``inf``.
-        """
-
-        def metric(next_hop: str) -> float:
-            if next_hop not in self.pop_of_router:
-                return 0.0  # external next hop resolved over the local session
-            spf = self._router_spf.get(router_id)
-            if spf is None:
-                return float("inf")  # this router's own PoP is down
-            return spf.metric_to(next_hop)
-
-        return metric
+    def _igp_metric_fn(self, router_id: str) -> IgpMetricFromRouter:
+        """Metric callable from ``router_id``; see :class:`IgpMetricFromRouter`."""
+        return IgpMetricFromRouter(self, router_id)
 
     def _build_routers(self) -> None:
         import_policy = RelationshipImportPolicy(self.relationships)

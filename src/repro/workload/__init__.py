@@ -9,6 +9,8 @@ subpackage is that campaign's synthetic counterpart:
 * :mod:`~repro.workload.arrivals` — diurnally modulated Poisson call
   arrivals with Zipf callee popularity;
 * :mod:`~repro.workload.engine` — the cached/batched campaign runner;
+* :mod:`~repro.workload.sharded` — shard-and-reduce multi-process
+  execution, byte-identical in report output to the sequential engine;
 * :mod:`~repro.workload.report` — per-region-pair QoE aggregation with a
   byte-stable JSON report.
 """
@@ -23,9 +25,12 @@ from repro.workload.arrivals import (
 )
 from repro.workload.engine import (
     CallResult,
+    CampaignConfig,
     CampaignEngine,
     CampaignRun,
     CampaignStats,
+    group_key,
+    group_rng,
 )
 from repro.workload.population import (
     DEFAULT_REGION_WEIGHTS,
@@ -39,6 +44,17 @@ from repro.workload.report import (
     CampaignReport,
     PairAccumulator,
 )
+from repro.workload.sharded import (
+    ShardedCampaignRun,
+    ShardedCampaignRunner,
+    ShardExecutionError,
+    ShardOutcome,
+    ShardPlan,
+    ShardTask,
+    WorldSpec,
+    partition_calls,
+    shard_seed,
+)
 
 __all__ = [
     "CALLEE_ZIPF_EXPONENT",
@@ -51,12 +67,24 @@ __all__ = [
     "CallResult",
     "CallSpec",
     "CampaignAggregator",
+    "CampaignConfig",
     "CampaignEngine",
     "CampaignReport",
     "CampaignRun",
     "CampaignStats",
     "PairAccumulator",
+    "ShardExecutionError",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardTask",
+    "ShardedCampaignRun",
+    "ShardedCampaignRunner",
     "User",
     "UserPopulation",
+    "WorldSpec",
     "call_rate_profile",
+    "group_key",
+    "group_rng",
+    "partition_calls",
+    "shard_seed",
 ]

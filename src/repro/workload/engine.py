@@ -16,6 +16,16 @@ redundancy a real campaign has:
   vectorised :func:`~repro.dataplane.transmit.simulate_stream_batch`
   draw instead of a Python loop of scalar draws.
 
+**Determinism contract.**  Every simulation group draws from its own
+generator, keyed by ``(campaign seed, group signature)`` via a stable
+hash (:func:`group_rng`) — never by the order groups were encountered.
+A campaign's measurements therefore depend only on the seed and on
+*which* calls ran, not on how the call list was chunked, shuffled, or
+sharded across worker processes.  This is what lets
+:class:`~repro.workload.sharded.ShardedCampaignRunner` fan a campaign
+out over a process pool and still reproduce the sequential report
+byte for byte.
+
 The three phases are instrumented with :mod:`repro.perf` timers
 (``workload.resolve`` / ``workload.simulate`` / ``workload.aggregate``)
 and counters; the engine also keeps its own :class:`CampaignStats` so
@@ -24,7 +34,9 @@ hit rates are available without enabling perf.
 
 from __future__ import annotations
 
+import hashlib
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +54,76 @@ from repro.workload.report import CampaignAggregator, CampaignReport
 
 #: Cache-miss sentinel (``None`` is a legitimate cached value).
 _MISS: object = object()
+
+#: "Argument not passed" sentinel for the legacy-kwarg deprecation shim.
+_UNSET: object = object()
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignConfig:
+    """Frozen configuration for one campaign run.
+
+    Replaces the growing keyword list of ``CampaignEngine.__init__`` —
+    one value object travels from the caller through shard workers
+    (it pickles) and into reports.
+
+    Parameters
+    ----------
+    seed:
+        Drives all simulation draws, via per-group generators (see the
+        module docstring; arrival randomness lives in the
+        :class:`~repro.workload.arrivals.CallArrivalProcess`).
+    packets_per_second / slot_s:
+        Stream shape, as for
+        :func:`~repro.dataplane.transmit.simulate_stream`.
+    """
+
+    seed: int = 0
+    packets_per_second: float = 420.0
+    slot_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.packets_per_second <= 0 or self.slot_s <= 0:
+            raise ValueError("packets_per_second and slot_s must be positive")
+
+
+#: A simulation-group signature: calls sharing one are exchangeable and
+#: simulate as a single vectorised batch.
+GroupKey = tuple[Prefix, Prefix, int, float]
+
+
+def group_key(spec: CallSpec) -> GroupKey:
+    """The simulation-group signature of one call.
+
+    Hour is binned to whole hours (the diurnal models change slowly) so
+    calls across a campaign day share batches.
+    """
+    return (
+        spec.caller.prefix,
+        spec.callee.prefix,
+        int(spec.start_hour_cet),
+        spec.duration_s,
+    )
+
+
+def group_rng(seed: int, key: GroupKey) -> np.random.Generator:
+    """The dedicated generator for one simulation group.
+
+    Keyed on the campaign seed and the group signature through a stable
+    128-bit hash — deliberately **not** Python's ``hash()``, whose string
+    salting differs between (worker) processes.  Identical inputs yield
+    identical generators in any process, which is the foundation of the
+    sequential-vs-sharded equivalence guarantee.
+    """
+    src, dst, hour_bin, duration_s = key
+    text = f"{seed}|{src}|{dst}|{hour_bin}|{duration_s:.6f}"
+    digest = hashlib.blake2b(text.encode("ascii"), digest_size=16).digest()
+    return np.random.default_rng(
+        [
+            int.from_bytes(digest[0:8], "little"),
+            int.from_bytes(digest[8:16], "little"),
+        ]
+    )
 
 
 @dataclass(slots=True)
@@ -84,14 +166,93 @@ class CampaignStats:
     def calls_per_second(self) -> float:
         return self.calls_resolved / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    def merge(self, other: "CampaignStats") -> None:
+        """Fold another run's (shard's) accounting into this one.
+
+        Counts sum; ``largest_batch`` takes the max.  ``elapsed_s`` sums
+        too — for shards running concurrently that is aggregate busy
+        time, and the sharded runner overwrites it with the observed
+        wall clock after reducing.
+        """
+        self.calls_total += other.calls_total
+        self.calls_failed += other.calls_failed
+        self.onward_hits += other.onward_hits
+        self.onward_misses += other.onward_misses
+        self.internet_hits += other.internet_hits
+        self.internet_misses += other.internet_misses
+        self.batches += other.batches
+        self.largest_batch = max(self.largest_batch, other.largest_batch)
+        self.turn_allocations += other.turn_allocations
+        self.elapsed_s += other.elapsed_s
+
+    def to_snapshot(self) -> perf.PerfSnapshot:
+        """The integer counts as a mergeable ``workload.stats.*`` snapshot.
+
+        Routes engine accounting through the same
+        :class:`~repro.perf.counters.PerfSnapshot` merge path shard
+        reducers use for timers, so one aggregation mechanism covers
+        both.
+        """
+        return perf.PerfSnapshot.of_counters(
+            {
+                "workload.stats.calls_total": self.calls_total,
+                "workload.stats.calls_failed": self.calls_failed,
+                "workload.stats.onward_hits": self.onward_hits,
+                "workload.stats.onward_misses": self.onward_misses,
+                "workload.stats.internet_hits": self.internet_hits,
+                "workload.stats.internet_misses": self.internet_misses,
+                "workload.stats.batches": self.batches,
+                "workload.stats.turn_allocations": self.turn_allocations,
+            }
+        )
+
 
 @dataclass(slots=True)
 class CampaignRun:
-    """Everything a campaign produces."""
+    """Everything a campaign produces.
+
+    ``aggregator`` is the streaming state the report was frozen from;
+    shard reducers merge these (see
+    :meth:`~repro.workload.report.CampaignAggregator.merge`) instead of
+    re-folding every call.
+    """
 
     results: list[CallResult]
     report: CampaignReport
     stats: CampaignStats
+    aggregator: CampaignAggregator
+
+    def render(self) -> str:
+        """The campaign summary as rows (one per directed region pair)."""
+        stats = self.stats
+        report = self.report
+        lines = ["Campaign — population-scale QoE, VNS vs native Internet"]
+        lines.append(
+            f"  calls: {stats.calls_resolved} completed, {stats.calls_failed} unroutable;"
+            f" {report.turn_allocations} TURN-relayed multiparty legs"
+        )
+        # No wall-clock figures here: render output is deterministic under
+        # the seed (throughput lives in BENCH_workload.json).
+        lines.append(
+            f"  engine: {stats.batches} batches (largest {stats.largest_batch}),"
+            f" onward path-cache hit rate {stats.onward_hit_rate:.1%}"
+        )
+        lines.append(
+            "  corridor   calls   vns p50/p95 delay      loss"
+            "      inet p50/p95 delay      loss   delay-win  loss-win"
+        )
+        for key in sorted(report.pairs):
+            pair = report.pairs[key]
+            vns, inet = pair["vns"], pair["internet"]
+            lines.append(
+                f"  {key:<9} {pair['calls']:5d}"
+                f"   {vns['delay_ms']['p50']:6.1f}/{vns['delay_ms']['p95']:6.1f} ms"
+                f" {vns['loss_pct']['p95']:6.2f}%"
+                f"   {inet['delay_ms']['p50']:6.1f}/{inet['delay_ms']['p95']:6.1f} ms"
+                f" {inet['loss_pct']['p95']:6.2f}%"
+                f"   {pair['vns_delay_win_rate']:8.1%}  {pair['vns_loss_win_rate']:8.1%}"
+            )
+        return "\n".join(lines)
 
 
 @dataclass(slots=True)
@@ -111,26 +272,45 @@ class CampaignEngine:
     ----------
     service:
         The VNS under test.
-    seed:
-        Drives the simulation draws (arrival randomness lives in the
-        :class:`~repro.workload.arrivals.CallArrivalProcess`).
-    packets_per_second / slot_s:
-        Stream shape, as for
-        :func:`~repro.dataplane.transmit.simulate_stream`.
+    config:
+        The frozen :class:`CampaignConfig`.  The individual ``seed`` /
+        ``packets_per_second`` / ``slot_s`` keywords are deprecated
+        shims for it and will be removed after one release.
     """
 
     def __init__(
         self,
         service: VideoNetworkService,
+        config: CampaignConfig | None = None,
         *,
-        seed: int = 0,
-        packets_per_second: float = 420.0,
-        slot_s: float = 5.0,
+        seed: int = _UNSET,  # type: ignore[assignment]
+        packets_per_second: float = _UNSET,  # type: ignore[assignment]
+        slot_s: float = _UNSET,  # type: ignore[assignment]
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("seed", seed),
+                ("packets_per_second", packets_per_second),
+                ("slot_s", slot_s),
+            )
+            if value is not _UNSET
+        }
+        if config is not None and legacy:
+            raise TypeError(
+                f"pass either config= or legacy keywords, not both: {sorted(legacy)}"
+            )
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    "CampaignEngine(seed=..., packets_per_second=..., slot_s=...) "
+                    "is deprecated; pass config=CampaignConfig(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = CampaignConfig(**legacy)
         self.service = service
-        self.seed = seed
-        self.packets_per_second = packets_per_second
-        self.slot_s = slot_s
+        self.config = config
         self.turn = TurnService(service)
         # Path caches, each keyed at the coarsest granularity that is
         # still exact (see module docstring).
@@ -139,6 +319,20 @@ class CampaignEngine:
         self._onward: dict[tuple[str, Prefix], tuple[DataPath, EgressDecision] | None] = {}
         self._internet: dict[tuple[Prefix, Prefix], DataPath | None] = {}
         self._pairs: dict[tuple[Prefix, Prefix], _ResolvedPair | None] = {}
+
+    # Read-only views kept for the one-release deprecation window of the
+    # old constructor keywords; new code should read ``engine.config``.
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    @property
+    def packets_per_second(self) -> float:
+        return self.config.packets_per_second
+
+    @property
+    def slot_s(self) -> float:
+        return self.config.slot_s
 
     # ------------------------------------------------------------------ #
     # resolution (cached)
@@ -267,18 +461,17 @@ class CampaignEngine:
         Calls whose routing fails either way are counted in
         ``stats.calls_failed`` and carry no measurement (the paper's
         campaign likewise only reports completed calls).  Deterministic:
-        the same engine seed and call list produce an identical
-        :meth:`CampaignReport.to_json`.
+        the same seed and call *set* produce an identical
+        :meth:`CampaignReport.to_json`, regardless of call order or of
+        how the list was sharded (per-group generators, see
+        :func:`group_rng`).
         """
         stats = CampaignStats(calls_total=len(calls))
         started = time.perf_counter()
-        rng = np.random.default_rng(self.seed)
 
         # Phase 1: resolve paths and group calls by simulation signature.
-        # Hour is binned to whole hours (the diurnal models change slowly)
-        # so calls across a campaign day share batches.
         resolved: list[tuple[CallSpec, _ResolvedPair]] = []
-        groups: dict[tuple[Prefix, Prefix, int, float], list[int]] = {}
+        groups: dict[GroupKey, list[int]] = {}
         with perf.timer("workload.resolve"):
             for spec in calls:
                 pair = self.resolve_pair(spec.caller.prefix, spec.callee.prefix, stats)
@@ -296,27 +489,24 @@ class CampaignEngine:
                         stats.turn_allocations += 1
                 index = len(resolved)
                 resolved.append((spec, pair))
-                key = (
-                    spec.caller.prefix,
-                    spec.callee.prefix,
-                    int(spec.start_hour_cet),
-                    spec.duration_s,
-                )
-                groups.setdefault(key, []).append(index)
+                groups.setdefault(group_key(spec), []).append(index)
         perf.incr("workload.calls", len(calls))
 
-        # Phase 2: one batched draw per (path signature, transport).
+        # Phase 2: one batched draw per (path signature, transport), each
+        # group on its own signature-keyed generator.
         results: list[CallResult | None] = [None] * len(resolved)
         with perf.timer("workload.simulate"):
-            for (_, _, hour_bin, duration_s), indices in groups.items():
+            for key, indices in groups.items():
+                _, _, hour_bin, duration_s = key
                 _, pair = resolved[indices[0]]
                 hour = hour_bin + 0.5
+                rng = group_rng(self.config.seed, key)
                 vns_streams = simulate_stream_batch(
                     pair.via_vns,
                     len(indices),
                     duration_s=duration_s,
-                    packets_per_second=self.packets_per_second,
-                    slot_s=self.slot_s,
+                    packets_per_second=self.config.packets_per_second,
+                    slot_s=self.config.slot_s,
                     hour_cet=hour,
                     rng=rng,
                 )
@@ -324,8 +514,8 @@ class CampaignEngine:
                     pair.via_internet,
                     len(indices),
                     duration_s=duration_s,
-                    packets_per_second=self.packets_per_second,
-                    slot_s=self.slot_s,
+                    packets_per_second=self.config.packets_per_second,
+                    slot_s=self.config.slot_s,
                     hour_cet=hour,
                     rng=rng,
                 )
@@ -350,7 +540,7 @@ class CampaignEngine:
                 aggregator.add(result)
         stats.elapsed_s = time.perf_counter() - started
         report = aggregator.report(
-            seed=self.seed,
+            seed=self.config.seed,
             n_failed=stats.calls_failed,
             turn_allocations=stats.turn_allocations,
         )
@@ -358,4 +548,5 @@ class CampaignEngine:
             results=[result for result in results if result is not None],
             report=report,
             stats=stats,
+            aggregator=aggregator,
         )

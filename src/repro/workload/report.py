@@ -133,7 +133,16 @@ class PairAccumulator:
         self.vns_loss_wins += other.vns_loss_wins
 
     def summary(self) -> dict:
-        """The pair's JSON-ready aggregate (floats rounded for stability)."""
+        """The pair's JSON-ready aggregate (floats rounded for stability).
+
+        Every float here is *permutation-invariant*: means and percentiles
+        are computed over the sorted sample arrays, so any shard partition
+        and merge order of the same calls reproduces the summary — and
+        hence :meth:`CampaignReport.to_json` — byte for byte.  (The
+        :class:`OnlineStats` moments are kept for sample-free consumers;
+        sequential Welford and Chan-merged means agree only to float
+        rounding, which is why the report does not read them.)
+        """
 
         def transport(
             delay: OnlineStats,
@@ -143,14 +152,15 @@ class PairAccumulator:
             lossy: int,
             slots: int,
         ) -> dict:
+            del delay, loss  # moments stay available on the accumulator
             return {
                 "delay_ms": {
-                    "mean": round(delay.mean, 4),
+                    "mean": round(_stable_mean(delay_samples), 4),
                     "p50": round(percentile(delay_samples, 50), 4),
                     "p95": round(percentile(delay_samples, 95), 4),
                 },
                 "loss_pct": {
-                    "mean": round(loss.mean, 6),
+                    "mean": round(_stable_mean(loss_samples), 6),
                     "p50": round(percentile(loss_samples, 50), 6),
                     "p95": round(percentile(loss_samples, 95), 6),
                 },
@@ -179,6 +189,13 @@ class PairAccumulator:
             "vns_delay_win_rate": round(self.vns_delay_wins / self.calls, 6),
             "vns_loss_win_rate": round(self.vns_loss_wins / self.calls, 6),
         }
+
+
+def _stable_mean(samples: list[float]) -> float:
+    """Mean over the sorted samples: identical for any sample ordering."""
+    if not samples:
+        return 0.0
+    return float(np.sort(np.asarray(samples, dtype=float)).mean())
 
 
 def _lossy_slots(stream) -> int:

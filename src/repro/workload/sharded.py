@@ -1,0 +1,604 @@
+"""Sharded multi-process campaign execution.
+
+The paper's evaluation aggregates two weeks of production traffic across
+11 PoPs; replaying that at population scale needs more than one core.
+This module fans a campaign out with the shard-and-reduce shape of a
+data-parallel training loop:
+
+1. **Partition** the call list into per-shard slices
+   (:func:`partition_calls`) that never split a simulation group — all
+   calls of one ``(src_prefix, dst_prefix)`` pair land on one shard, so
+   per-pair path caches stay warm and batch draws keep their size.
+2. **Execute** each shard in a worker of a spawn-safe
+   ``multiprocessing`` pool.  Workers receive the world either as a
+   pickled :class:`~repro.vns.service.VideoNetworkService` or as a
+   :class:`WorldSpec` recipe they rebuild locally (configurable via
+   :class:`ShardPlan`), then run an ordinary
+   :class:`~repro.workload.engine.CampaignEngine` over their slice.
+3. **Reduce** by merging the shards'
+   :class:`~repro.workload.report.CampaignAggregator`\\ s,
+   :class:`~repro.workload.engine.CampaignStats` and
+   :class:`~repro.perf.counters.PerfSnapshot`\\ s into one
+   :class:`ShardedCampaignRun`.
+
+**Determinism contract.**  Simulation draws are keyed by ``(campaign
+seed, group signature)`` (:func:`~repro.workload.engine.group_rng`) and
+every float in a report summary is permutation-invariant, so a sharded
+run is *byte-identical* in :meth:`CampaignReport.to_json` to the
+sequential run under the same seed — for any worker count, shard count,
+scheduling order, or retry history.  The per-shard seeds carried by
+:class:`ShardTask` are derived deterministically from the campaign seed
+for shard-local needs (retry backoff jitter today); they deliberately do
+not feed the simulation draws.
+
+**Robustness.**  Per-shard wait timeouts, failed-shard retry with a
+re-derived shard seed, and graceful fallback to in-process execution
+when the pool cannot be created (or a shard exhausts its retries and
+``allow_inprocess_fallback`` is set).  Shard faults can be injected via
+``ShardPlan.fail_injections`` for chaos-style testing, in the spirit of
+:mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field, replace
+from hashlib import blake2b
+from multiprocessing import get_context
+
+from repro import perf
+from repro.vns.service import VideoNetworkService
+from repro.workload.arrivals import CallSpec
+from repro.workload.engine import (
+    CampaignConfig,
+    CampaignEngine,
+    CampaignRun,
+    CampaignStats,
+)
+from repro.workload.report import CampaignAggregator
+
+#: The engine phases whose per-shard timings shards report.
+PHASES = ("resolve", "simulate", "aggregate")
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard kept failing after every permitted retry.
+
+    Carries the per-attempt failure log so the caller can see what the
+    pool saw (``str(exc)`` includes it).
+    """
+
+    def __init__(self, shard_index: int, failures: list[str]) -> None:
+        self.shard_index = shard_index
+        self.failures = list(failures)
+        attempts = "; ".join(failures) or "no attempts recorded"
+        super().__init__(f"shard {shard_index} failed permanently: {attempts}")
+
+
+@dataclass(frozen=True, slots=True)
+class WorldSpec:
+    """A recipe for rebuilding a world inside a worker process.
+
+    The ``rebuild`` transport ships this tiny value instead of a pickled
+    service — slower to start (each worker rebuilds) but immune to any
+    unpicklable state a future world might carry.
+    """
+
+    scale: str = "small"
+    seed: int = 42
+    geoip_errors: bool = False
+
+    def build_service(self) -> VideoNetworkService:
+        # Imported here: experiments.common imports perf and is not needed
+        # in workers that receive a pickled world.
+        from repro.experiments.common import build_world
+
+        return build_world(
+            self.scale, seed=self.seed, geoip_errors=self.geoip_errors
+        ).service
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """How to cut and execute a campaign.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size.  ``1`` (or ``force_inprocess``) runs the shards
+        sequentially in this process — same partition, same reduce, no
+        pool.
+    n_shards:
+        Number of slices; defaults to ``n_workers``.  More shards than
+        workers gives finer rebalancing after a straggler.
+    world_transport:
+        ``"pickle"`` ships the built service to each worker;
+        ``"rebuild"`` ships a :class:`WorldSpec` and each worker builds
+        its own copy.
+    shard_timeout_s:
+        Upper bound on each wait for a shard result; ``None`` waits
+        forever.  A timed-out shard counts as a failed attempt (the
+        stuck worker cannot be reclaimed, so prefer generous bounds).
+    max_retries:
+        Failed-attempt budget per shard *beyond* the first try.
+    force_inprocess:
+        Skip the pool entirely (useful under debuggers and in tests).
+    allow_inprocess_fallback:
+        Run shards in this process when the pool cannot be created or a
+        shard exhausts its retries; when ``False`` those conditions
+        raise :class:`ShardExecutionError`.
+    keep_results:
+        Return per-call :class:`~repro.workload.engine.CallResult`\\ s.
+        Switching this off saves the dominant share of worker→parent
+        transfer at population scale; the report and stats are complete
+        either way.
+    fail_injections:
+        ``((shard_index, n_attempts), ...)`` — make the shard's first
+        ``n_attempts`` executions raise, exercising the retry path.
+    """
+
+    n_workers: int = 2
+    n_shards: int | None = None
+    world_transport: str = "pickle"
+    shard_timeout_s: float | None = None
+    max_retries: int = 1
+    force_inprocess: bool = False
+    allow_inprocess_fallback: bool = True
+    keep_results: bool = True
+    fail_injections: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers!r}")
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards!r}")
+        if self.world_transport not in ("pickle", "rebuild"):
+            raise ValueError(
+                f"world_transport must be 'pickle' or 'rebuild', "
+                f"got {self.world_transport!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+
+    @property
+    def effective_shards(self) -> int:
+        return self.n_shards if self.n_shards is not None else self.n_workers
+
+
+@dataclass(slots=True)
+class ShardTask:
+    """One shard's work order (pickled to a worker)."""
+
+    index: int
+    calls: list[CallSpec]
+    config: CampaignConfig
+    shard_seed: int
+    attempt: int = 0
+    fail_attempts: int = 0  #: injected fault: raise on the first N attempts
+    keep_results: bool = True
+
+
+@dataclass(slots=True)
+class ShardOutcome:
+    """Observability record for one executed shard."""
+
+    index: int
+    n_calls: int
+    attempts: int
+    in_process: bool
+    shard_seed: int
+    elapsed_s: float
+    #: ``phase -> {"total_s": wall, "cpu_s": cpu}`` from the worker's
+    #: perf timers (CPU seconds are what speedup is judged on: they are
+    #: immune to core contention on oversubscribed hosts).
+    phase_s: dict[str, dict[str, float]]
+    stats: CampaignStats
+    failures: list[str] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class _ShardResult:
+    """What a worker sends back for one shard."""
+
+    index: int
+    run: CampaignRun
+    perf: perf.PerfSnapshot
+    elapsed_s: float
+
+
+@dataclass(slots=True)
+class ShardedCampaignRun(CampaignRun):
+    """A :class:`CampaignRun` plus the shard fan-out's observability.
+
+    ``stats.elapsed_s`` is the reducer's wall clock; per-shard busy time
+    lives in each :class:`ShardOutcome`.  ``perf_snapshot`` merges every
+    shard's timers/counters (including the engines'
+    ``workload.stats.*`` counts routed through
+    :meth:`CampaignStats.to_snapshot`).
+    """
+
+    shards: list[ShardOutcome] = field(default_factory=list)
+    perf_snapshot: perf.PerfSnapshot = field(default_factory=perf.PerfSnapshot)
+
+    def simulate_critical_path_s(self, *, cpu: bool = True) -> float:
+        """The slowest shard's simulate-phase seconds.
+
+        The fan-out's lower bound on simulate wall time given enough
+        cores; ``BENCH_workload.json`` reports sequential simulate time
+        divided by this as the speedup per worker count.
+        """
+        kind = "cpu_s" if cpu else "total_s"
+        return max(
+            (outcome.phase_s.get("simulate", {}).get(kind, 0.0) for outcome in self.shards),
+            default=0.0,
+        )
+
+
+# --------------------------------------------------------------------- #
+# partitioning
+# --------------------------------------------------------------------- #
+
+
+def partition_calls(calls: list[CallSpec], n_shards: int) -> list[list[CallSpec]]:
+    """Cut ``calls`` into at most ``n_shards`` group-preserving slices.
+
+    All calls of one ``(src_prefix, dst_prefix)`` pair stay together —
+    a simulation group is a refinement of the pair, so no batch is ever
+    split and the sequential draws are reproduced exactly.  Pairs are
+    balanced greedily by total call *duration* (the simulate phase costs
+    one slot draw per 5 s of call, so duration — not call count — is the
+    work proxy; largest first, deterministic tie-break), and each slice
+    preserves the original call order.  Slices are never empty; fewer
+    pairs than shards yields fewer slices.
+    """
+    if n_shards <= 1 or len(calls) <= 1:
+        return [list(calls)] if calls else []
+    buckets: dict[tuple[str, str], list[int]] = {}
+    weights: dict[tuple[str, str], float] = {}
+    for position, spec in enumerate(calls):
+        key = (str(spec.caller.prefix), str(spec.callee.prefix))
+        buckets.setdefault(key, []).append(position)
+        weights[key] = weights.get(key, 0.0) + spec.duration_s
+    ordered = sorted(buckets.items(), key=lambda item: (-weights[item[0]], item[0]))
+    loads = [0.0] * n_shards
+    members: list[list[int]] = [[] for _ in range(n_shards)]
+    for key, positions in ordered:
+        target = loads.index(min(loads))
+        members[target].extend(positions)
+        loads[target] += weights[key]
+    shards = []
+    for positions in members:
+        if positions:
+            positions.sort()
+            shards.append([calls[position] for position in positions])
+    return shards
+
+
+def shard_seed(campaign_seed: int, index: int, attempt: int = 0) -> int:
+    """The deterministic per-shard (and per-attempt) seed."""
+    text = f"{campaign_seed}|shard|{index}|attempt|{attempt}"
+    return int.from_bytes(blake2b(text.encode("ascii"), digest_size=8).digest(), "little")
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+
+#: The worker's world, installed once per process by :func:`_init_worker`.
+_WORKER_SERVICE: VideoNetworkService | None = None
+
+
+def _init_worker(payload: tuple[str, object]) -> None:
+    global _WORKER_SERVICE
+    kind, data = payload
+    if kind == "pickle":
+        _WORKER_SERVICE = pickle.loads(data)  # type: ignore[arg-type]
+    else:
+        assert isinstance(data, WorldSpec)
+        _WORKER_SERVICE = data.build_service()
+
+
+def _execute_shard(service: VideoNetworkService, task: ShardTask) -> _ShardResult:
+    """Run one shard on ``service`` (in a worker or in-process).
+
+    Captures the engine's perf timers as a delta against the process's
+    registry and leaves the registry exactly as found when perf was off
+    (:func:`repro.perf.counters.restore`), so in-process shards do not
+    leak timings into a caller that never enabled instrumentation.
+    """
+    if task.attempt < task.fail_attempts:
+        raise RuntimeError(
+            f"injected shard fault: shard {task.index} attempt {task.attempt}"
+        )
+    started = time.perf_counter()
+    was_enabled = perf.is_enabled()
+    before = perf.snapshot()
+    perf.enable()
+    try:
+        engine = CampaignEngine(service, task.config)
+        run = engine.run(task.calls)
+    finally:
+        after = perf.snapshot()
+        if not was_enabled:
+            perf.restore(before)
+            perf.disable()
+    shard_perf = after.diff(before).merge(run.stats.to_snapshot())
+    if not task.keep_results:
+        run.results = []
+    return _ShardResult(
+        index=task.index,
+        run=run,
+        perf=shard_perf,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _run_shard_worker(task: ShardTask) -> _ShardResult:
+    if _WORKER_SERVICE is None:
+        raise RuntimeError("shard worker used before _init_worker installed a world")
+    return _execute_shard(_WORKER_SERVICE, task)
+
+
+# --------------------------------------------------------------------- #
+# the runner
+# --------------------------------------------------------------------- #
+
+
+class ShardedCampaignRunner:
+    """Executes campaigns across a process pool and reduces the shards.
+
+    Parameters
+    ----------
+    service:
+        The live world.  Required for the ``"pickle"`` transport and
+        used directly by in-process execution.
+    config:
+        The campaign's :class:`CampaignConfig` (defaults to seed 0).
+    plan:
+        The :class:`ShardPlan`; defaults to two pickled-world workers.
+    world_spec:
+        Recipe for the ``"rebuild"`` transport (and for in-process
+        execution when no ``service`` was given).
+    """
+
+    def __init__(
+        self,
+        service: VideoNetworkService | None = None,
+        config: CampaignConfig | None = None,
+        plan: ShardPlan | None = None,
+        *,
+        world_spec: WorldSpec | None = None,
+    ) -> None:
+        self.config = config if config is not None else CampaignConfig()
+        self.plan = plan if plan is not None else ShardPlan()
+        if service is None and world_spec is None:
+            raise ValueError("need a service, a world_spec, or both")
+        if self.plan.world_transport == "pickle" and service is None:
+            raise ValueError("world_transport='pickle' needs a built service")
+        if self.plan.world_transport == "rebuild" and world_spec is None:
+            raise ValueError("world_transport='rebuild' needs a world_spec")
+        self._service = service
+        self._world_spec = world_spec
+        self._fail_map = dict(self.plan.fail_injections)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, calls: list[CallSpec]) -> ShardedCampaignRun:
+        """Run ``calls`` sharded; the report is byte-identical to
+        ``CampaignEngine(service, config).run(calls).report``."""
+        started = time.perf_counter()
+        slices = partition_calls(calls, self.plan.effective_shards)
+        tasks = [
+            ShardTask(
+                index=index,
+                calls=slice_,
+                config=self.config,
+                shard_seed=shard_seed(self.config.seed, index),
+                fail_attempts=self._fail_map.get(index, 0),
+                keep_results=self.plan.keep_results,
+            )
+            for index, slice_ in enumerate(slices)
+        ]
+        if self.plan.force_inprocess or self.plan.n_workers <= 1 or len(tasks) <= 1:
+            executed = [self._run_task_inprocess(task) for task in tasks]
+        else:
+            executed = self._run_pool(tasks)
+        return self._reduce(executed, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------ #
+    # execution paths
+    # ------------------------------------------------------------------ #
+
+    def _local_service(self) -> VideoNetworkService:
+        if self._service is None:
+            assert self._world_spec is not None
+            self._service = self._world_spec.build_service()
+        return self._service
+
+    def _run_task_inprocess(
+        self, task: ShardTask, failures: list[str] | None = None
+    ) -> tuple[_ShardResult, ShardOutcome]:
+        failures = list(failures or [])
+        first_attempt = task.attempt
+        attempt = task.attempt
+        while True:
+            try:
+                result = _execute_shard(self._local_service(), task)
+                break
+            except Exception as exc:  # noqa: BLE001 - retry budget decides
+                failures.append(f"in-process attempt {attempt}: {exc}")
+                if attempt - first_attempt >= self.plan.max_retries:
+                    raise ShardExecutionError(task.index, failures) from exc
+                attempt += 1
+                task = replace(
+                    task,
+                    attempt=attempt,
+                    shard_seed=shard_seed(self.config.seed, task.index, attempt),
+                )
+        outcome = self._outcome(
+            result, task, attempts=attempt - first_attempt + 1, in_process=True
+        )
+        outcome.failures = failures
+        return result, outcome
+
+    def _worker_payload(self) -> tuple[str, object]:
+        if self.plan.world_transport == "pickle":
+            return ("pickle", pickle.dumps(self._service, protocol=pickle.HIGHEST_PROTOCOL))
+        return ("spec", self._world_spec)
+
+    def _run_pool(self, tasks: list[ShardTask]) -> list[tuple[_ShardResult, ShardOutcome]]:
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.plan.n_workers, len(tasks)),
+                mp_context=get_context("spawn"),
+                initializer=_init_worker,
+                initargs=(self._worker_payload(),),
+            )
+        except Exception as exc:  # noqa: BLE001 - pool genuinely unavailable
+            if not self.plan.allow_inprocess_fallback:
+                raise ShardExecutionError(-1, [f"pool unavailable: {exc}"]) from exc
+            return [self._run_task_inprocess(task) for task in tasks]
+
+        executed: list[tuple[_ShardResult, ShardOutcome]] = []
+        pool_broken = False
+        with executor:
+            pending: dict[int, tuple[Future, ShardTask, int, list[str]]] = {}
+            for task in tasks:
+                pending[task.index] = (
+                    executor.submit(_run_shard_worker, task),
+                    task,
+                    1,
+                    [],
+                )
+            remaining = list(pending)
+            for index in remaining:
+                while True:
+                    future, task, attempts, failures = pending[index]
+                    try:
+                        result = future.result(timeout=self.plan.shard_timeout_s)
+                        executed.append(
+                            self._finish_pool_task(result, task, attempts, failures)
+                        )
+                        break
+                    except FutureTimeoutError:
+                        failures.append(
+                            f"attempt {task.attempt}: timed out after "
+                            f"{self.plan.shard_timeout_s}s"
+                        )
+                        future.cancel()
+                    except BrokenExecutor as exc:
+                        failures.append(f"attempt {task.attempt}: pool broke: {exc}")
+                        pool_broken = True
+                    except Exception as exc:  # noqa: BLE001 - retry budget decides
+                        failures.append(f"attempt {task.attempt}: {exc}")
+                    if pool_broken or attempts > self.plan.max_retries:
+                        executed.append(self._salvage_task(task, attempts, failures))
+                        break
+                    retry = replace(
+                        task,
+                        attempt=task.attempt + 1,
+                        shard_seed=shard_seed(
+                            self.config.seed, task.index, task.attempt + 1
+                        ),
+                    )
+                    pending[index] = (
+                        executor.submit(_run_shard_worker, retry),
+                        retry,
+                        attempts + 1,
+                        failures,
+                    )
+                if pool_broken:
+                    break
+            if pool_broken:
+                # Salvage everything not yet reduced on this side of the pool.
+                done = {outcome.index for _, outcome in executed}
+                for index in remaining:
+                    if index in done:
+                        continue
+                    _, task, attempts, failures = pending[index]
+                    executed.append(self._salvage_task(task, attempts, failures))
+        return executed
+
+    def _finish_pool_task(
+        self, result: _ShardResult, task: ShardTask, attempts: int, failures: list[str]
+    ) -> tuple[_ShardResult, ShardOutcome]:
+        outcome = self._outcome(result, task, attempts=attempts, in_process=False)
+        outcome.failures = failures
+        return result, outcome
+
+    def _salvage_task(
+        self, task: ShardTask, attempts: int, failures: list[str]
+    ) -> tuple[_ShardResult, ShardOutcome]:
+        """Last resort for a shard the pool could not finish."""
+        if not self.plan.allow_inprocess_fallback:
+            raise ShardExecutionError(task.index, failures)
+        # The injected-fault budget is attempt-indexed; continue counting
+        # so a fault spanning all pool attempts still clears in-process.
+        salvage = replace(
+            task,
+            attempt=task.attempt + 1,
+            shard_seed=shard_seed(self.config.seed, task.index, task.attempt + 1),
+        )
+        result, outcome = self._run_task_inprocess(salvage, failures)
+        outcome.attempts += attempts
+        return result, outcome
+
+    # ------------------------------------------------------------------ #
+    # reduce
+    # ------------------------------------------------------------------ #
+
+    def _outcome(
+        self, result: _ShardResult, task: ShardTask, *, attempts: int, in_process: bool
+    ) -> ShardOutcome:
+        phase_s = {}
+        for phase in PHASES:
+            entry = result.perf.timers.get(f"workload.{phase}")
+            if entry is not None:
+                phase_s[phase] = {
+                    "total_s": entry["total_s"],
+                    "cpu_s": entry["cpu_s"],
+                }
+        return ShardOutcome(
+            index=result.index,
+            n_calls=len(task.calls),
+            attempts=attempts,
+            in_process=in_process,
+            shard_seed=task.shard_seed,
+            elapsed_s=result.elapsed_s,
+            phase_s=phase_s,
+            stats=result.run.stats,
+        )
+
+    def _reduce(
+        self, executed: list[tuple[_ShardResult, ShardOutcome]], wall_s: float
+    ) -> ShardedCampaignRun:
+        executed.sort(key=lambda pair: pair[0].index)
+        aggregator = CampaignAggregator()
+        stats = CampaignStats()
+        merged_perf = perf.PerfSnapshot()
+        results = []
+        outcomes = []
+        for result, outcome in executed:
+            aggregator.merge(result.run.aggregator)
+            stats.merge(result.run.stats)
+            merged_perf = merged_perf.merge(result.perf)
+            results.extend(result.run.results)
+            outcomes.append(outcome)
+        stats.elapsed_s = wall_s
+        results.sort(key=lambda call_result: call_result.spec.call_id)
+        report = aggregator.report(
+            seed=self.config.seed,
+            n_failed=stats.calls_failed,
+            turn_allocations=stats.turn_allocations,
+        )
+        return ShardedCampaignRun(
+            results=results,
+            report=report,
+            stats=stats,
+            aggregator=aggregator,
+            shards=outcomes,
+            perf_snapshot=merged_perf,
+        )

@@ -138,3 +138,86 @@ class TestWiring:
             pass
         text = perf.report()
         assert "a.b" in text and "c.d" in text
+
+
+class TestPerfSnapshot:
+    def _populated(self) -> perf.PerfSnapshot:
+        perf.enable()
+        perf.incr("events.seen", 3)
+        perf.add_time("phase.run", 2.0, calls=4, cpu_seconds=1.5)
+        return perf.snapshot()
+
+    def test_snapshot_shape(self):
+        snap = self._populated()
+        assert snap.counters == {"events.seen": 3}
+        assert snap.timers == {
+            "phase.run": {"calls": 4, "total_s": 2.0, "cpu_s": 1.5}
+        }
+        # dict-style back-compat
+        assert snap["counters"] is snap.counters
+        assert snap["timers"] is snap.timers
+        with pytest.raises(KeyError):
+            snap["nope"]
+
+    def test_merge_sums_counters_and_timers(self):
+        left = perf.PerfSnapshot(
+            counters={"a": 1, "b": 2},
+            timers={"t": {"calls": 1, "total_s": 1.0, "cpu_s": 0.5}},
+        )
+        right = perf.PerfSnapshot(
+            counters={"b": 3, "c": 4},
+            timers={
+                "t": {"calls": 2, "total_s": 0.5, "cpu_s": 0.25},
+                "u": {"calls": 1, "total_s": 9.0, "cpu_s": 9.0},
+            },
+        )
+        merged = left.merge(right)
+        assert merged.counters == {"a": 1, "b": 5, "c": 4}
+        assert merged.timers["t"] == {"calls": 3, "total_s": 1.5, "cpu_s": 0.75}
+        assert merged.timers["u"]["total_s"] == 9.0
+        # inputs untouched (snapshots are values)
+        assert left.counters == {"a": 1, "b": 2}
+        assert left.timers["t"]["calls"] == 1
+
+    def test_diff_is_the_delta_and_drops_empty_rows(self):
+        before = self._populated()
+        perf.incr("events.seen", 2)
+        perf.incr("events.other")
+        perf.add_time("phase.run", 1.0, cpu_seconds=0.5)
+        delta = perf.snapshot().diff(before)
+        assert delta.counters == {"events.seen": 2, "events.other": 1}
+        assert delta.timers["phase.run"] == {
+            "calls": 1,
+            "total_s": 1.0,
+            "cpu_s": 0.5,
+        }
+        # nothing new since the second snapshot -> empty diff
+        empty = perf.snapshot().diff(perf.snapshot())
+        assert empty.counters == {} and empty.timers == {}
+
+    def test_timer_s_accessor(self):
+        snap = self._populated()
+        assert snap.timer_s("phase.run") == 2.0
+        assert snap.timer_s("phase.run", cpu=True) == 1.5
+        assert snap.timer_s("absent") == 0.0
+
+    def test_of_counters(self):
+        snap = perf.PerfSnapshot.of_counters({"x": 2})
+        assert snap.counters == {"x": 2} and snap.timers == {}
+
+    def test_restore_resets_registry(self):
+        before = self._populated()
+        perf.incr("events.seen", 10)
+        perf.add_time("phase.extra", 1.0)
+        perf.restore(before)
+        assert perf.snapshot().to_dict() == before.to_dict()
+
+    def test_timers_record_cpu_seconds(self):
+        perf.enable()
+        with perf.timer("spin"):
+            total = 0
+            for i in range(20000):
+                total += i * i
+        entry = perf.snapshot().timers["spin"]
+        assert entry["cpu_s"] > 0.0
+        assert entry["total_s"] >= entry["cpu_s"] * 0.5  # sane magnitudes

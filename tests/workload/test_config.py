@@ -1,0 +1,49 @@
+"""Tests for the CampaignConfig value object and its deprecation shim."""
+
+import pytest
+
+from repro.workload import CampaignConfig, CampaignEngine, group_rng
+from repro.workload.engine import group_key
+
+
+class TestCampaignConfig:
+    def test_frozen_and_validated(self):
+        config = CampaignConfig(seed=3)
+        with pytest.raises(AttributeError):
+            config.seed = 4
+        with pytest.raises(ValueError):
+            CampaignConfig(packets_per_second=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(slot_s=-1.0)
+
+    def test_engine_accepts_config(self, small_world):
+        engine = CampaignEngine(small_world.service, CampaignConfig(seed=9))
+        assert engine.config == CampaignConfig(seed=9)
+        assert engine.seed == 9  # read-only legacy view
+
+    def test_legacy_kwargs_warn_and_build_config(self, small_world):
+        with pytest.warns(DeprecationWarning, match="CampaignConfig"):
+            engine = CampaignEngine(small_world.service, seed=5, slot_s=2.5)
+        assert engine.config == CampaignConfig(seed=5, slot_s=2.5)
+
+    def test_config_plus_legacy_kwargs_is_an_error(self, small_world):
+        with pytest.raises(TypeError, match="not both"):
+            CampaignEngine(small_world.service, CampaignConfig(), seed=5)
+
+    def test_no_kwargs_no_warning(self, small_world, recwarn):
+        engine = CampaignEngine(small_world.service)
+        assert engine.config == CampaignConfig()
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestGroupRng:
+    def test_same_key_same_stream(self, small_world, rng):
+        from repro.workload import CallArrivalProcess, UserPopulation
+
+        population = UserPopulation.sample(small_world.topology, 20, seed=3)
+        spec = CallArrivalProcess(population, seed=3).generate(days=1)[0]
+        key = group_key(spec)
+        first = group_rng(7, key).random(4)
+        second = group_rng(7, key).random(4)
+        assert (first == second).all()
+        assert not (group_rng(8, key).random(4) == first).all()

@@ -5,7 +5,7 @@ import pytest
 
 from repro.dataplane.transmit import simulate_stream
 from repro.workload.arrivals import CallArrivalProcess, CallSpec
-from repro.workload.engine import CampaignEngine
+from repro.workload.engine import CampaignConfig, CampaignEngine
 from repro.workload.population import UserPopulation
 
 
@@ -21,21 +21,21 @@ def campaign_inputs(small_world):
 class TestDeterminism:
     def test_same_seed_same_report(self, small_world, campaign_inputs):
         _, calls = campaign_inputs
-        run_a = CampaignEngine(small_world.service, seed=8).run(calls)
-        run_b = CampaignEngine(small_world.service, seed=8).run(calls)
+        run_a = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
+        run_b = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
         assert run_a.report.to_json() == run_b.report.to_json()
 
     def test_different_seed_different_report(self, small_world, campaign_inputs):
         _, calls = campaign_inputs
-        run_a = CampaignEngine(small_world.service, seed=8).run(calls)
-        run_b = CampaignEngine(small_world.service, seed=9).run(calls)
+        run_a = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
+        run_b = CampaignEngine(small_world.service, CampaignConfig(seed=9)).run(calls)
         assert run_a.report.to_json() != run_b.report.to_json()
 
 
 class TestAccounting:
     def test_stats_add_up(self, small_world, campaign_inputs):
         _, calls = campaign_inputs
-        run = CampaignEngine(small_world.service, seed=8).run(calls)
+        run = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
         stats = run.stats
         assert stats.calls_total == len(calls)
         assert stats.calls_resolved + stats.calls_failed == stats.calls_total
@@ -48,14 +48,14 @@ class TestAccounting:
 
     def test_path_cache_gets_hits(self, small_world, campaign_inputs):
         _, calls = campaign_inputs
-        run = CampaignEngine(small_world.service, seed=8).run(calls)
+        run = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
         assert run.stats.onward_misses > 0
         assert run.stats.onward_hits > 0
         assert 0.0 < run.stats.onward_hit_rate <= 1.0
 
     def test_turn_allocations_follow_multiparty(self, small_world, campaign_inputs):
         _, calls = campaign_inputs
-        engine = CampaignEngine(small_world.service, seed=8)
+        engine = CampaignEngine(small_world.service, CampaignConfig(seed=8))
         run = engine.run(calls)
         multiparty = sum(
             1 for result in run.results if result.spec.multiparty
@@ -68,7 +68,7 @@ class TestPathFidelity:
     def test_matches_service_call_paths(self, small_world, campaign_inputs):
         """Cached resolution must agree with the uncached facade."""
         _, calls = campaign_inputs
-        run = CampaignEngine(small_world.service, seed=8).run(calls)
+        run = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
         service = small_world.service
         for result in run.results[:25]:
             spec = result.spec
@@ -108,7 +108,7 @@ class TestBatchedConsistency:
             )
             for i in range(n)
         ]
-        engine = CampaignEngine(small_world.service, seed=8)
+        engine = CampaignEngine(small_world.service, CampaignConfig(seed=8))
         run = engine.run(calls)
         assert run.stats.batches == 1  # identical signatures -> one group
         assert run.stats.largest_batch == n
@@ -146,6 +146,6 @@ class TestBatchedConsistency:
             CallSpec(1, caller, callee, 0, 9.9, 120.0, False),
             CallSpec(2, caller, callee, 0, 10.1, 120.0, False),
         ]
-        run = CampaignEngine(small_world.service, seed=8).run(calls)
+        run = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
         assert run.stats.batches == 2  # {hour 9: 2 calls}, {hour 10: 1 call}
         assert run.stats.largest_batch == 2

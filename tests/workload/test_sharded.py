@@ -1,0 +1,225 @@
+"""Tests for sharded multi-process campaign execution.
+
+The load-bearing property is the determinism contract: a sharded run —
+in-process or across a real spawn pool, with or without retries — is
+byte-identical in ``CampaignReport.to_json()`` to the sequential engine
+under the same seed.
+"""
+
+import pickle
+
+import pytest
+
+from repro import perf
+from repro.workload import (
+    CallArrivalProcess,
+    CampaignConfig,
+    CampaignEngine,
+    ShardedCampaignRunner,
+    ShardExecutionError,
+    ShardPlan,
+    UserPopulation,
+    group_key,
+    partition_calls,
+    shard_seed,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign_inputs(small_world):
+    population = UserPopulation.sample(small_world.topology, 60, seed=11)
+    calls = CallArrivalProcess(
+        population, calls_per_user_day=2.0, multiparty_fraction=0.25, seed=12
+    ).generate(days=1)
+    return population, calls
+
+
+@pytest.fixture(scope="module")
+def sequential_json(small_world, campaign_inputs):
+    _, calls = campaign_inputs
+    run = CampaignEngine(small_world.service, CampaignConfig(seed=7)).run(calls)
+    return run.report.to_json()
+
+
+class TestPartition:
+    def test_preserves_all_calls_and_order(self, campaign_inputs):
+        _, calls = campaign_inputs
+        shards = partition_calls(calls, 4)
+        assert sum(len(s) for s in shards) == len(calls)
+        positions = {spec.call_id: i for i, spec in enumerate(calls)}
+        for shard in shards:
+            assert shard  # never empty
+            indices = [positions[spec.call_id] for spec in shard]
+            assert indices == sorted(indices)
+        seen = [spec.call_id for shard in shards for spec in shard]
+        assert sorted(seen) == sorted(spec.call_id for spec in calls)
+
+    def test_never_splits_a_group(self, campaign_inputs):
+        _, calls = campaign_inputs
+        shards = partition_calls(calls, 5)
+        owner: dict = {}
+        for index, shard in enumerate(shards):
+            for spec in shard:
+                key = group_key(spec)
+                assert owner.setdefault(key, index) == index
+
+    def test_deterministic(self, campaign_inputs):
+        _, calls = campaign_inputs
+        first = partition_calls(calls, 3)
+        second = partition_calls(calls, 3)
+        assert [[s.call_id for s in shard] for shard in first] == [
+            [s.call_id for s in shard] for shard in second
+        ]
+
+    def test_degenerate_inputs(self, campaign_inputs):
+        _, calls = campaign_inputs
+        assert partition_calls([], 4) == []
+        assert partition_calls(calls, 1) == [list(calls)]
+        only = [calls[0]]
+        assert partition_calls(only, 8) == [only]
+
+    def test_shard_seed_is_stable_and_attempt_sensitive(self):
+        assert shard_seed(7, 0) == shard_seed(7, 0)
+        assert shard_seed(7, 0) != shard_seed(7, 1)
+        assert shard_seed(7, 0, attempt=0) != shard_seed(7, 0, attempt=1)
+        assert shard_seed(8, 0) != shard_seed(7, 0)
+
+
+class TestPlanValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ShardPlan(n_workers=0)
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardPlan(n_shards=0)
+        with pytest.raises(ValueError, match="world_transport"):
+            ShardPlan(world_transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="max_retries"):
+            ShardPlan(max_retries=-1)
+
+    def test_runner_requires_world_source(self, small_world):
+        with pytest.raises(ValueError, match="service"):
+            ShardedCampaignRunner(None, CampaignConfig())
+        with pytest.raises(ValueError, match="world_spec"):
+            ShardedCampaignRunner(
+                small_world.service,
+                CampaignConfig(),
+                ShardPlan(world_transport="rebuild"),
+            )
+
+
+class TestInProcessEquivalence:
+    def test_byte_identical_report(
+        self, small_world, campaign_inputs, sequential_json
+    ):
+        _, calls = campaign_inputs
+        for n_shards in (2, 3, 5):
+            run = ShardedCampaignRunner(
+                small_world.service,
+                CampaignConfig(seed=7),
+                ShardPlan(force_inprocess=True, n_shards=n_shards),
+            ).run(calls)
+            assert run.report.to_json() == sequential_json
+            assert all(outcome.in_process for outcome in run.shards)
+
+    def test_results_merge_complete_and_sorted(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        run = ShardedCampaignRunner(
+            small_world.service,
+            CampaignConfig(seed=7),
+            ShardPlan(force_inprocess=True, n_shards=3),
+        ).run(calls)
+        ids = [result.spec.call_id for result in run.results]
+        assert ids == sorted(ids)
+        assert len(ids) == run.stats.calls_resolved
+
+    def test_keep_results_off_keeps_report(
+        self, small_world, campaign_inputs, sequential_json
+    ):
+        _, calls = campaign_inputs
+        run = ShardedCampaignRunner(
+            small_world.service,
+            CampaignConfig(seed=7),
+            ShardPlan(force_inprocess=True, n_shards=2, keep_results=False),
+        ).run(calls)
+        assert run.results == []
+        assert run.report.to_json() == sequential_json
+
+    def test_does_not_leak_perf_state(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        perf.disable()
+        perf.reset()
+        run = ShardedCampaignRunner(
+            small_world.service,
+            CampaignConfig(seed=7),
+            ShardPlan(force_inprocess=True, n_shards=2),
+        ).run(calls)
+        assert not perf.is_enabled()
+        assert perf.snapshot().timers == {}
+        # ... yet the run still captured its own phase timings.
+        assert run.shards[0].phase_s["simulate"]["total_s"] > 0.0
+        assert run.perf_snapshot.timers
+
+
+class TestRetryAndFallback:
+    def test_injected_fault_is_retried(
+        self, small_world, campaign_inputs, sequential_json
+    ):
+        _, calls = campaign_inputs
+        run = ShardedCampaignRunner(
+            small_world.service,
+            CampaignConfig(seed=7),
+            ShardPlan(
+                force_inprocess=True,
+                n_shards=2,
+                fail_injections=((0, 1),),
+                max_retries=2,
+            ),
+        ).run(calls)
+        shard0 = next(o for o in run.shards if o.index == 0)
+        assert shard0.attempts == 2
+        assert "injected shard fault" in shard0.failures[0]
+        assert run.report.to_json() == sequential_json
+
+    def test_exhausted_retries_raise(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        with pytest.raises(ShardExecutionError, match="shard 0 failed permanently"):
+            ShardedCampaignRunner(
+                small_world.service,
+                CampaignConfig(seed=7),
+                ShardPlan(
+                    force_inprocess=True,
+                    n_shards=2,
+                    fail_injections=((0, 99),),
+                    max_retries=1,
+                ),
+            ).run(calls)
+
+
+class TestPickledWorldRoundTrip:
+    def test_service_round_trips_and_reproduces(
+        self, small_world, campaign_inputs, sequential_json
+    ):
+        _, calls = campaign_inputs
+        clone = pickle.loads(
+            pickle.dumps(small_world.service, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        run = CampaignEngine(clone, CampaignConfig(seed=7)).run(calls)
+        assert run.report.to_json() == sequential_json
+
+
+@pytest.mark.slow
+class TestSpawnPool:
+    """One real 2-worker spawn pool run (the CI smoke's tier-1 twin)."""
+
+    def test_pool_run_byte_identical(
+        self, small_world, campaign_inputs, sequential_json
+    ):
+        _, calls = campaign_inputs
+        run = ShardedCampaignRunner(
+            small_world.service,
+            CampaignConfig(seed=7),
+            ShardPlan(n_workers=2),
+        ).run(calls)
+        assert [o.in_process for o in run.shards] == [False, False]
+        assert run.report.to_json() == sequential_json
+        assert run.simulate_critical_path_s(cpu=True) > 0.0
