@@ -27,6 +27,7 @@ table1    Last-mile loss by AS type (Sec. 5.2.3)
 fig12     Diurnal loss patterns (Sec. 5.2.3)
 failover  Fault injection / failover suite (beyond the paper)
 campaign  Population-scale call campaign (Sec. 5 at scale)
+steering  Hybrid VNS/Internet steering policies (beyond the paper)
 ========  =====================================================
 """
 

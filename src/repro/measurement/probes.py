@@ -35,13 +35,19 @@ class TargetHost:
 
 @dataclass(frozen=True, slots=True)
 class ProbeObservation:
-    """One probe round from one PoP to one host."""
+    """One probe round from one PoP to one host.
+
+    ``min_rtt_ms`` is the round's lowest echo RTT (what the paper
+    records; the steering telemetry feeds it into its health tables) —
+    ``None`` when every packet of the round was lost.
+    """
 
     pop_code: str
     host: TargetHost
     round: Round
     sent: int
     lost: int
+    min_rtt_ms: float | None = None
 
     @property
     def loss_fraction(self) -> float:
@@ -98,6 +104,7 @@ class LossProbeCampaign:
             round=round_,
             sent=result.sent,
             lost=result.lost,
+            min_rtt_ms=result.min_rtt_ms,
         )
 
     def run(
@@ -119,8 +126,9 @@ class LossProbeCampaign:
 
 def select_hosts(
     service: VideoNetworkService,
-    rng: np.random.Generator,
+    rng: np.random.Generator | None = None,
     *,
+    seed: int | None = None,
     per_type_per_region: int = 50,
     regions: tuple[WorldRegion, ...] = (
         WorldRegion.ASIA_PACIFIC,
@@ -136,8 +144,24 @@ def select_hosts(
     in Europe originates prefixes on every continent.  Buckets sample
     round-robin across distinct origin ASes first, then across each AS's
     prefixes.
+
+    All randomness (the host-location jitter) flows through the explicit
+    generator: pass ``rng``, or ``seed`` to have one built — two calls
+    with the same seed pick identical hosts.
+
+    Raises
+    ------
+    ValueError
+        When both ``rng`` and ``seed`` are given, or neither is.
     """
     from repro.geo.cities import region_of_point
+
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if rng is None:
+        if seed is None:
+            raise ValueError("select_hosts needs an rng or an explicit seed")
+        rng = np.random.default_rng(seed)
 
     topology = service.topology
     # Bucket candidate prefixes by (region, AS type), grouped per origin.

@@ -9,6 +9,7 @@ scaled down while keeping full diurnal coverage.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -25,24 +26,49 @@ class Round:
         return self.day * 24.0 + self.hour_cet
 
 
+def rounds_per_day(minutes: float) -> int:
+    """How many rounds of period ``minutes`` fit in one 24 h day.
+
+    Exact for divisible periods (``30 -> 48``); a non-divisible period
+    keeps every round that starts strictly inside the day (``100 ->
+    15``: rounds at 0, 1:40, ..., 23:20 — ``int(round(...))`` would have
+    dropped the 23:20 round, and for other periods invented a round
+    beyond the day).
+    """
+    if minutes <= 0:
+        raise ValueError(f"period must be positive, got {minutes!r}")
+    ratio = 24 * 60 / minutes
+    whole = round(ratio)
+    if abs(ratio - whole) < 1e-9:
+        return int(whole)
+    return math.ceil(ratio)
+
+
 def rounds_every(minutes: float, days: int, start_hour: float = 0.0) -> list[Round]:
     """Rounds every ``minutes`` across ``days`` full days.
+
+    Each day carries :func:`rounds_per_day` rounds, phase-anchored at
+    ``start_hour``.  A schedule whose rounds cross midnight (nonzero
+    ``start_hour``) attributes the post-midnight rounds to the *next*
+    day, so ``Round.absolute_hours`` is strictly increasing across the
+    whole schedule instead of jumping backwards at the wrap.
 
     Raises
     ------
     ValueError
-        For a non-positive period or negative day count.
+        For a non-positive period, negative day count, or a start hour
+        outside [0, 24).
     """
-    if minutes <= 0:
-        raise ValueError(f"period must be positive, got {minutes!r}")
     if days < 0:
         raise ValueError(f"days must be non-negative, got {days!r}")
-    per_day = int(round(24 * 60 / minutes))
+    if not 0.0 <= start_hour < 24.0:
+        raise ValueError(f"start_hour must be in [0, 24), got {start_hour!r}")
+    per_day = rounds_per_day(minutes)
     rounds: list[Round] = []
     for day in range(days):
         for slot in range(per_day):
-            hour = (start_hour + slot * minutes / 60.0) % 24.0
-            rounds.append(Round(day=day, hour_cet=hour))
+            raw = start_hour + slot * minutes / 60.0
+            rounds.append(Round(day=day + int(raw // 24.0), hour_cet=raw % 24.0))
     return rounds
 
 

@@ -1,0 +1,167 @@
+"""Probe telemetry: measurement rounds -> a :class:`PathHealthTable`.
+
+The steering loop's sensor: on every round of a
+:mod:`repro.measurement.scheduler` schedule, probe a diverse host sample
+from the PoPs **both ways a call could travel** —
+
+* forced out of VNS immediately at the PoP (the Sec. 5.2
+  :class:`~repro.measurement.probes.LossProbeCampaign`, i.e. the direct
+  Internet transport), and
+* across the backbone circuits to the egress nearest the host and out
+  (the VNS transport, probed with the same back-to-back round shape)
+
+— then fold each round's minimum RTT and loss fraction into the health
+table under the (PoP region -> host region) corridor and the round's
+diurnal bucket.  Everything is driven by one seed; the same seed
+reproduces the same table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataplane.path import DataPath
+from repro.dataplane.transmit import simulate_probe_round
+from repro.geo.cities import region_of_point
+from repro.measurement.probes import LossProbeCampaign, TargetHost, select_hosts
+from repro.measurement.scheduler import Round, rounds_every
+from repro.steering.health import PathHealthTable, Transport
+from repro.vns.pop import pop_by_code
+from repro.vns.service import VideoNetworkService
+from repro.workload.report import REGION_CODE
+
+
+@dataclass(slots=True)
+class TelemetryStats:
+    """Accounting for one telemetry collection."""
+
+    rounds: int = 0
+    probes: int = 0
+    unroutable: int = 0  #: (pop, host) pairs some transport cannot reach
+
+
+class SteeringTelemetry:
+    """Runs the dual-transport probe campaign and feeds a health table.
+
+    Parameters
+    ----------
+    service:
+        The VNS under measurement.
+    seed:
+        Drives host selection and every probe draw.
+    packets_per_round:
+        Back-to-back packets per probe round (Sec. 5.2 uses 100).
+    """
+
+    def __init__(
+        self,
+        service: VideoNetworkService,
+        *,
+        seed: int = 0,
+        packets_per_round: int = 100,
+    ) -> None:
+        self.service = service
+        self.seed = seed
+        self.packets_per_round = packets_per_round
+        self.stats = TelemetryStats()
+        self._vns_paths: dict[tuple[str, object], DataPath | None] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _vns_path(self, pop_code: str, host: TargetHost) -> DataPath | None:
+        key = (pop_code, host.prefix)
+        if key not in self._vns_paths:
+            self._vns_paths[key] = self.service.path_via_vns(
+                pop_code, host.prefix, host.location
+            )
+        return self._vns_paths[key]
+
+    def collect(
+        self,
+        table: PathHealthTable | None = None,
+        *,
+        days: int = 1,
+        minutes_between_rounds: float = 120.0,
+        hosts_per_type_per_region: int = 2,
+        pop_codes: tuple[str, ...] | None = None,
+    ) -> PathHealthTable:
+        """Probe the schedule and return the (possibly pre-seeded) table."""
+        if table is None:
+            table = PathHealthTable()
+        rng = np.random.default_rng(self.seed)
+        hosts = select_hosts(
+            self.service, rng, per_type_per_region=hosts_per_type_per_region
+        )
+        if pop_codes is None:
+            pop_codes = tuple(pop.code for pop in self.service.pops())
+        pop_region = {
+            code: REGION_CODE[region_of_point(pop_by_code(code).location)]
+            for code in pop_codes
+        }
+        internet = LossProbeCampaign(
+            self.service, rng, packets_per_round=self.packets_per_round
+        )
+        rounds = rounds_every(minutes_between_rounds, days)
+        for round_ in rounds:
+            self.stats.rounds += 1
+            for pop_code in pop_codes:
+                for host in hosts:
+                    self._probe_pair(
+                        table, internet, pop_region[pop_code], pop_code, host, round_, rng
+                    )
+        return table
+
+    def _probe_pair(
+        self,
+        table: PathHealthTable,
+        internet: LossProbeCampaign,
+        src_region: str,
+        pop_code: str,
+        host: TargetHost,
+        round_: Round,
+        rng: np.random.Generator,
+    ) -> None:
+        dst_region = REGION_CODE[host.region]
+        t_hours = round_.absolute_hours
+
+        observation = internet.probe(pop_code, host, round_)
+        if observation is None:
+            self.stats.unroutable += 1
+        else:
+            self.stats.probes += 1
+            rtt = observation.min_rtt_ms
+            if rtt is None:
+                # Every packet lost: fall back to the path's base RTT so
+                # the (terrible) loss reading still lands in the table.
+                path = internet._path(pop_code, host)
+                rtt = path.rtt_ms() if path is not None else 0.0
+            table.observe(
+                src_region,
+                dst_region,
+                Transport.INTERNET,
+                rtt_ms=rtt,
+                loss_fraction=observation.loss_fraction,
+                t_hours=t_hours,
+            )
+
+        vns_path = self._vns_path(pop_code, host)
+        if vns_path is None:
+            self.stats.unroutable += 1
+            return
+        self.stats.probes += 1
+        result = simulate_probe_round(
+            vns_path,
+            packets=self.packets_per_round,
+            hour_cet=round_.hour_cet,
+            rng=rng,
+        )
+        table.observe(
+            src_region,
+            dst_region,
+            Transport.VNS,
+            rtt_ms=result.min_rtt_ms if result.min_rtt_ms is not None else vns_path.rtt_ms(),
+            loss_fraction=result.loss_fraction,
+            t_hours=t_hours,
+        )

@@ -10,6 +10,7 @@ video call end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -27,15 +28,36 @@ from repro.vns.management import ManagementInterface
 from repro.vns.network import EgressDecision, VnsNetwork
 from repro.vns.pop import POPS, PoP, pop_by_code
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (steering imports us back)
+    from repro.steering.engine import SteeringEngine
+    from repro.steering.policies import SteeringDecision
+
 
 @dataclass(slots=True)
 class CallPaths:
-    """The two ways a media stream can travel between two users."""
+    """The transport options for a media stream between two users.
+
+    ``via_detour`` (the one-hop PoP detour: last mile to the anycast
+    entry PoP, then forced out onto the Internet there — zero backbone
+    circuits) and ``decision`` are populated only when :meth:`
+    VideoNetworkService.call_paths` ran with a steering engine.
+    """
 
     via_vns: DataPath
     via_internet: DataPath
     entry_pop: str
     exit_pop: str
+    via_detour: DataPath | None = None
+    decision: "SteeringDecision | None" = None
+
+    @property
+    def chosen(self) -> DataPath:
+        """The path the steering verdict selected (VNS when unsteered)."""
+        if self.decision is None or self.decision.choice.value == "vns":
+            return self.via_vns
+        if self.decision.choice.value == "pop_detour" and self.via_detour is not None:
+            return self.via_detour
+        return self.via_internet
 
 
 class VideoNetworkService:
@@ -368,13 +390,23 @@ class VideoNetworkService:
         src_location: GeoPoint,
         dst_prefix: Prefix,
         dst_location: GeoPoint,
+        *,
+        steering: "SteeringEngine | None" = None,
+        t_hours: float = 0.0,
+        call_id: int = 0,
     ) -> CallPaths | None:
-        """Both transport options for a call between two users.
+        """The transport options for a call between two users.
 
         Via VNS: source last mile to its anycast entry PoP, VNS circuits to
         the egress closest to the destination, then the Internet tail.
         Via Internet: the native AS path between the two users' networks.
         Returns ``None`` if routing fails to resolve either way.
+
+        Passing a ``steering`` engine additionally resolves the one-hop
+        PoP detour (local exit at the entry PoP) and records the
+        policy's :class:`~repro.steering.policies.SteeringDecision` for
+        the call at campaign hour ``t_hours`` — read the selected path
+        off :attr:`CallPaths.chosen`.
         """
         src_origin = self.topology.origin_as(src_prefix)
         entry = self.anycast.entry_pop(src_origin.asn, src_location)
@@ -404,11 +436,36 @@ class VideoNetworkService:
             first_segment_kind=SegmentKind.ACCESS,
             description=f"call-inet:{src_prefix}->{dst_prefix}",
         )
+        via_detour = None
+        verdict = None
+        if steering is not None:
+            from repro.steering.policies import PathCandidates
+
+            exit_leg = self.path_local_exit(
+                entry.code, dst_prefix, destination=dst_location
+            )
+            if exit_leg is not None:
+                via_detour = inbound.concat(exit_leg)
+                via_detour.description = f"call-detour:{src_prefix}->{dst_prefix}"
+            verdict = steering.decide(
+                src_prefix,
+                dst_prefix,
+                t_hours,
+                candidates=PathCandidates(
+                    vns_rtt_ms=via_vns.rtt_ms(),
+                    internet_rtt_ms=via_internet.rtt_ms(),
+                    detour_rtt_ms=None if via_detour is None else via_detour.rtt_ms(),
+                    detour_pop=None if via_detour is None else entry.code,
+                ),
+                call_id=call_id,
+            )
         return CallPaths(
             via_vns=via_vns,
             via_internet=via_internet,
             entry_pop=entry.code,
             exit_pop=decision.egress_pop,
+            via_detour=via_detour,
+            decision=verdict,
         )
 
     # ----------------------------------------------------------------- #

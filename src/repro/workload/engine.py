@@ -38,6 +38,7 @@ import hashlib
 import time
 import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -50,7 +51,11 @@ from repro.net.addressing import Prefix
 from repro.vns.network import EgressDecision
 from repro.vns.service import VideoNetworkService
 from repro.workload.arrivals import CallSpec
-from repro.workload.report import CampaignAggregator, CampaignReport
+from repro.workload.report import REGION_CODE, CampaignAggregator, CampaignReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (steering imports us back)
+    from repro.steering.engine import SteeringEngine
+    from repro.steering.policies import PathCandidates, SteeringDecision
 
 #: Cache-miss sentinel (``None`` is a legitimate cached value).
 _MISS: object = object()
@@ -128,13 +133,24 @@ def group_rng(seed: int, key: GroupKey) -> np.random.Generator:
 
 @dataclass(slots=True)
 class CallResult:
-    """One completed call: the spec plus both transports' measurements."""
+    """One completed call: the spec plus both transports' measurements.
+
+    Under a steering engine the call additionally carries its
+    :class:`~repro.steering.policies.SteeringDecision`, the stream it
+    actually rode (``steered`` — one of the two baseline streams, or a
+    third PoP-detour draw), and the media bytes the VNS transport would
+    have pushed across the backbone (``backbone_bytes``, the quantity a
+    policy's offload saves).
+    """
 
     spec: CallSpec
     entry_pop: str
     egress_pop: str
     via_vns: StreamResult
     via_internet: StreamResult
+    decision: "SteeringDecision | None" = None
+    steered: StreamResult | None = None
+    backbone_bytes: int = 0
 
 
 @dataclass(slots=True)
@@ -237,6 +253,20 @@ class CampaignRun:
             f"  engine: {stats.batches} batches (largest {stats.largest_batch}),"
             f" onward path-cache hit rate {stats.onward_hit_rate:.1%}"
         )
+        steering = report.steering
+        if steering is not None:
+            delta = steering["qoe_delta_vs_vns"]
+            lines.append(
+                f"  steering[{steering['policy']}]:"
+                f" offload {steering['offload_rate']:.1%}"
+                f" ({steering['offloaded_calls']}/{steering['steered_calls']} calls,"
+                f" {steering['detour_calls']} via PoP detour),"
+                f" backbone bytes saved {steering['backbone_bytes_saved']:,}"
+                f" of {steering['backbone_bytes']:,}"
+                f" ({steering['backbone_saved_fraction']:.1%}),"
+                f" QoE delta vs always-VNS {delta['delay_ms_mean']:+.2f} ms"
+                f" / {delta['loss_pct_mean']:+.4f}% loss"
+            )
         lines.append(
             "  corridor   calls   vns p50/p95 delay      loss"
             "      inet p50/p95 delay      loss   delay-win  loss-win"
@@ -276,6 +306,14 @@ class CampaignEngine:
         The frozen :class:`CampaignConfig`.  The individual ``seed`` /
         ``packets_per_second`` / ``slot_s`` keywords are deprecated
         shims for it and will be removed after one release.
+    steering:
+        An optional :class:`~repro.steering.engine.SteeringEngine`.
+        When present, every resolved call gets a per-call transport
+        verdict (VNS / direct Internet / one-hop PoP detour) and the
+        report grows offload-rate, backbone-byte and QoE-delta columns.
+        Decisions are pure in the call's identity and the engine's
+        (static) health table, so steering preserves the sequential-vs-
+        sharded byte-identity contract.
     """
 
     def __init__(
@@ -283,6 +321,7 @@ class CampaignEngine:
         service: VideoNetworkService,
         config: CampaignConfig | None = None,
         *,
+        steering: "SteeringEngine | None" = None,
         seed: int = _UNSET,  # type: ignore[assignment]
         packets_per_second: float = _UNSET,  # type: ignore[assignment]
         slot_s: float = _UNSET,  # type: ignore[assignment]
@@ -311,6 +350,7 @@ class CampaignEngine:
             config = CampaignConfig(**legacy)
         self.service = service
         self.config = config
+        self.steering = steering
         self.turn = TurnService(service)
         # Path caches, each keyed at the coarsest granularity that is
         # still exact (see module docstring).
@@ -319,6 +359,11 @@ class CampaignEngine:
         self._onward: dict[tuple[str, Prefix], tuple[DataPath, EgressDecision] | None] = {}
         self._internet: dict[tuple[Prefix, Prefix], DataPath | None] = {}
         self._pairs: dict[tuple[Prefix, Prefix], _ResolvedPair | None] = {}
+        # Steering-only caches: the forced local exit at a PoP, the full
+        # per-pair detour path and the per-pair candidate RTTs.
+        self._local_exit: dict[tuple[str, Prefix], DataPath | None] = {}
+        self._detour_paths: dict[tuple[Prefix, Prefix], DataPath | None] = {}
+        self._candidates: dict[tuple[Prefix, Prefix], "PathCandidates"] = {}
 
     # Read-only views kept for the one-release deprecation window of the
     # old constructor keywords; new code should read ``engine.config``.
@@ -452,6 +497,50 @@ class CampaignEngine:
         return pair
 
     # ------------------------------------------------------------------ #
+    # steering support (cached like the transport legs)
+    # ------------------------------------------------------------------ #
+
+    def _detour_exit(self, entry_pop: str, dst_prefix: Prefix) -> DataPath | None:
+        key = (entry_pop, dst_prefix)
+        cached = self._local_exit.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        path = self.service.path_local_exit(entry_pop, dst_prefix)
+        self._local_exit[key] = path
+        return path
+
+    def candidates_for(
+        self, src_prefix: Prefix, dst_prefix: Prefix, pair: _ResolvedPair
+    ) -> "PathCandidates":
+        """The call's candidate-transport RTTs (path delay is exact).
+
+        The one-hop detour — last mile to the anycast entry PoP, then
+        forced out of VNS onto the Internet there (Sec. 4.1's "local
+        exit"), zero backbone circuits — is resolved and cached here; the
+        simulate phase reuses the same path for detoured streams.
+        """
+        key = (src_prefix, dst_prefix)
+        cached = self._candidates.get(key)
+        if cached is not None:
+            return cached
+        from repro.steering.policies import PathCandidates
+
+        exit_leg = self._detour_exit(pair.entry_pop, dst_prefix)
+        detour = None
+        if exit_leg is not None:
+            detour = self._lastmile_leg(src_prefix, pair.entry_pop).concat(exit_leg)
+            detour.description = f"call-detour:{src_prefix}->{dst_prefix}"
+        self._detour_paths[key] = detour
+        candidates = PathCandidates(
+            vns_rtt_ms=pair.via_vns.rtt_ms(),
+            internet_rtt_ms=pair.via_internet.rtt_ms(),
+            detour_rtt_ms=None if detour is None else detour.rtt_ms(),
+            detour_pop=None if detour is None else pair.entry_pop,
+        )
+        self._candidates[key] = candidates
+        return candidates
+
+    # ------------------------------------------------------------------ #
     # the campaign
     # ------------------------------------------------------------------ #
 
@@ -468,9 +557,18 @@ class CampaignEngine:
         """
         stats = CampaignStats(calls_total=len(calls))
         started = time.perf_counter()
+        steering = self.steering
+        if steering is not None:
+            from repro.steering.policies import (
+                MEDIA_PACKET_BYTES,
+                PathChoice,
+                stream_payload_bytes,
+            )
 
-        # Phase 1: resolve paths and group calls by simulation signature.
+        # Phase 1: resolve paths (and, under steering, decide each call's
+        # transport) and group calls by simulation signature.
         resolved: list[tuple[CallSpec, _ResolvedPair]] = []
+        decisions: list["SteeringDecision"] = []  # parallel to ``resolved``
         groups: dict[GroupKey, list[int]] = {}
         with perf.timer("workload.resolve"):
             for spec in calls:
@@ -487,6 +585,23 @@ class CampaignEngine:
                     )
                     if allocation is not None:
                         stats.turn_allocations += 1
+                if steering is not None:
+                    decisions.append(
+                        steering.decide_for_regions(
+                            REGION_CODE[spec.caller.region],
+                            REGION_CODE[spec.callee.region],
+                            spec.day * 24.0 + spec.start_hour_cet,
+                            candidates=self.candidates_for(
+                                spec.caller.prefix, spec.callee.prefix, pair
+                            ),
+                            call_id=spec.call_id,
+                            payload_bytes=stream_payload_bytes(
+                                spec.duration_s,
+                                self.config.packets_per_second,
+                                self.config.slot_s,
+                            ),
+                        )
+                    )
                 index = len(resolved)
                 resolved.append((spec, pair))
                 groups.setdefault(group_key(spec), []).append(index)
@@ -519,14 +634,52 @@ class CampaignEngine:
                     hour_cet=hour,
                     rng=rng,
                 )
+                # Detoured streams need a third draw over the detour
+                # path.  Drawn strictly AFTER the two baseline batches on
+                # the same group generator, so the vns/internet draws —
+                # and hence the baseline report columns — are bit-equal
+                # with and without steering.
+                detour_streams = None
+                if steering is not None:
+                    detour_path = self._detour_paths.get((key[0], key[1]))
+                    if detour_path is not None and any(
+                        decisions[i].choice is PathChoice.POP_DETOUR for i in indices
+                    ):
+                        detour_streams = simulate_stream_batch(
+                            detour_path,
+                            len(indices),
+                            duration_s=duration_s,
+                            packets_per_second=self.config.packets_per_second,
+                            slot_s=self.config.slot_s,
+                            hour_cet=hour,
+                            rng=rng,
+                        )
                 for slot, index in enumerate(indices):
                     spec, _ = resolved[index]
+                    decision = None
+                    steered = None
+                    backbone = 0
+                    if steering is not None:
+                        decision = decisions[index]
+                        if decision.choice is PathChoice.VNS:
+                            steered = vns_streams[slot]
+                        elif (
+                            decision.choice is PathChoice.POP_DETOUR
+                            and detour_streams is not None
+                        ):
+                            steered = detour_streams[slot]
+                        else:
+                            steered = inet_streams[slot]
+                        backbone = vns_streams[slot].packets_sent * MEDIA_PACKET_BYTES
                     results[index] = CallResult(
                         spec=spec,
                         entry_pop=pair.entry_pop,
                         egress_pop=pair.egress_pop,
                         via_vns=vns_streams[slot],
                         via_internet=inet_streams[slot],
+                        decision=decision,
+                        steered=steered,
+                        backbone_bytes=backbone,
                     )
                 stats.batches += 1
                 stats.largest_batch = max(stats.largest_batch, len(indices))
@@ -543,6 +696,7 @@ class CampaignEngine:
             seed=self.config.seed,
             n_failed=stats.calls_failed,
             turn_allocations=stats.turn_allocations,
+            steering_policy=None if steering is None else steering.policy.name,
         )
         return CampaignRun(
             results=[result for result in results if result is not None],

@@ -68,6 +68,14 @@ class PairAccumulator:
     inet_lossy_slots: int = 0
     vns_delay_wins: int = 0
     vns_loss_wins: int = 0
+    # Steering accounting (all zero / empty when no steering engine ran).
+    steered_calls: int = 0
+    offloaded_calls: int = 0
+    detour_calls: int = 0
+    backbone_bytes: int = 0
+    backbone_bytes_saved: int = 0
+    steered_delay_samples: list[float] = field(default_factory=list)
+    steered_loss_samples: list[float] = field(default_factory=list)
 
     def add(self, result: "CallResult") -> None:
         """Fold one call into the pair."""
@@ -102,6 +110,18 @@ class PairAccumulator:
             self.vns_delay_wins += 1
         if result.via_vns.loss_percent <= result.via_internet.loss_percent:
             self.vns_loss_wins += 1
+        decision = result.decision
+        if decision is not None:
+            self.steered_calls += 1
+            self.backbone_bytes += result.backbone_bytes
+            steered = result.steered if result.steered is not None else result.via_vns
+            self.steered_delay_samples.append(steered.rtt_ms)
+            self.steered_loss_samples.append(steered.loss_percent)
+            if decision.offloaded:
+                self.offloaded_calls += 1
+                self.backbone_bytes_saved += result.backbone_bytes
+                if decision.choice.value == "pop_detour":
+                    self.detour_calls += 1
 
     def merge(self, other: "PairAccumulator") -> None:
         """Fold another shard's accumulator for the same pair into this one.
@@ -131,6 +151,13 @@ class PairAccumulator:
         self.inet_lossy_slots += other.inet_lossy_slots
         self.vns_delay_wins += other.vns_delay_wins
         self.vns_loss_wins += other.vns_loss_wins
+        self.steered_calls += other.steered_calls
+        self.offloaded_calls += other.offloaded_calls
+        self.detour_calls += other.detour_calls
+        self.backbone_bytes += other.backbone_bytes
+        self.backbone_bytes_saved += other.backbone_bytes_saved
+        self.steered_delay_samples.extend(other.steered_delay_samples)
+        self.steered_loss_samples.extend(other.steered_loss_samples)
 
     def summary(self) -> dict:
         """The pair's JSON-ready aggregate (floats rounded for stability).
@@ -167,7 +194,7 @@ class PairAccumulator:
                 "lossy_slot_fraction": round(lossy / slots, 6) if slots else 0.0,
             }
 
-        return {
+        summary = {
             "calls": self.calls,
             "multiparty": self.multiparty,
             "vns": transport(
@@ -189,6 +216,42 @@ class PairAccumulator:
             "vns_delay_win_rate": round(self.vns_delay_wins / self.calls, 6),
             "vns_loss_win_rate": round(self.vns_loss_wins / self.calls, 6),
         }
+        if self.steered_calls:
+            # Reports without steering keep their exact historical shape;
+            # the block appears only when a steering engine decided calls.
+            summary["steering"] = {
+                "steered_calls": self.steered_calls,
+                "offloaded_calls": self.offloaded_calls,
+                "detour_calls": self.detour_calls,
+                "offload_rate": round(self.offloaded_calls / self.steered_calls, 6),
+                "backbone_bytes": self.backbone_bytes,
+                "backbone_bytes_saved": self.backbone_bytes_saved,
+                "steered": {
+                    "delay_ms": {
+                        "mean": round(_stable_mean(self.steered_delay_samples), 4),
+                        "p50": round(percentile(self.steered_delay_samples, 50), 4),
+                        "p95": round(percentile(self.steered_delay_samples, 95), 4),
+                    },
+                    "loss_pct": {
+                        "mean": round(_stable_mean(self.steered_loss_samples), 6),
+                        "p50": round(percentile(self.steered_loss_samples, 50), 6),
+                        "p95": round(percentile(self.steered_loss_samples, 95), 6),
+                    },
+                },
+                "qoe_delta_vs_vns": {
+                    "delay_ms_mean": round(
+                        _stable_mean(self.steered_delay_samples)
+                        - _stable_mean(self.vns_delay_samples),
+                        4,
+                    ),
+                    "loss_pct_mean": round(
+                        _stable_mean(self.steered_loss_samples)
+                        - _stable_mean(self.vns_loss_samples),
+                        6,
+                    ),
+                },
+            }
+        return summary
 
 
 def _stable_mean(samples: list[float]) -> float:
@@ -238,43 +301,96 @@ class CampaignAggregator:
         seed: int,
         n_failed: int = 0,
         turn_allocations: int = 0,
+        steering_policy: str | None = None,
     ) -> "CampaignReport":
-        """Freeze the accumulated state into a :class:`CampaignReport`."""
+        """Freeze the accumulated state into a :class:`CampaignReport`.
+
+        ``steering_policy`` names the policy that decided the campaign's
+        calls; passing it adds the campaign-wide ``steering`` block
+        (offload rate, backbone bytes saved, QoE delta vs always-VNS).
+        """
         pair_summaries = {
             f"{src}->{dst}": accumulator.summary()
             for (src, dst), accumulator in self.pairs.items()
         }
+        steering = None
+        if steering_policy is not None:
+            steering = self._steering_summary(steering_policy)
         return CampaignReport(
             seed=seed,
             n_calls=sum(a.calls for a in self.pairs.values()),
             n_failed=n_failed,
             turn_allocations=turn_allocations,
             pairs=pair_summaries,
+            steering=steering,
         )
+
+    def _steering_summary(self, policy: str) -> dict:
+        """The campaign-wide steering aggregate (permutation-invariant:
+        counts sum, means run over sorted concatenated samples)."""
+        accumulators = list(self.pairs.values())
+        steered = sum(a.steered_calls for a in accumulators)
+        offloaded = sum(a.offloaded_calls for a in accumulators)
+        total_bytes = sum(a.backbone_bytes for a in accumulators)
+        saved_bytes = sum(a.backbone_bytes_saved for a in accumulators)
+        steered_delay = [s for a in accumulators for s in a.steered_delay_samples]
+        steered_loss = [s for a in accumulators for s in a.steered_loss_samples]
+        vns_delay = [s for a in accumulators for s in a.vns_delay_samples]
+        vns_loss = [s for a in accumulators for s in a.vns_loss_samples]
+        return {
+            "policy": policy,
+            "steered_calls": steered,
+            "offloaded_calls": offloaded,
+            "detour_calls": sum(a.detour_calls for a in accumulators),
+            "offload_rate": round(offloaded / steered, 6) if steered else 0.0,
+            "backbone_bytes": total_bytes,
+            "backbone_bytes_saved": saved_bytes,
+            "backbone_saved_fraction": (
+                round(saved_bytes / total_bytes, 6) if total_bytes else 0.0
+            ),
+            "qoe_delta_vs_vns": {
+                "delay_ms_mean": round(
+                    _stable_mean(steered_delay) - _stable_mean(vns_delay), 4
+                ),
+                "loss_pct_mean": round(
+                    _stable_mean(steered_loss) - _stable_mean(vns_loss), 6
+                ),
+            },
+        }
 
 
 @dataclass(slots=True)
 class CampaignReport:
-    """The campaign's aggregate result, JSON-stable under a seed."""
+    """The campaign's aggregate result, JSON-stable under a seed.
+
+    ``steering`` is the campaign-wide policy aggregate (offload rate,
+    backbone bytes saved, QoE delta vs always-VNS), present only when a
+    steering engine decided the campaign's calls — reports without
+    steering serialise exactly as before.
+    """
 
     seed: int
     n_calls: int
     n_failed: int
     turn_allocations: int
     pairs: dict[str, dict]
+    steering: dict | None = None
 
     def pair(self, src_code: str, dst_code: str) -> dict | None:
         """One directed pair's summary, or ``None`` if no calls matched."""
         return self.pairs.get(f"{src_code}->{dst_code}")
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "seed": self.seed,
             "n_calls": self.n_calls,
             "n_failed": self.n_failed,
             "turn_allocations": self.turn_allocations,
             "pairs": self.pairs,
         }
+        if self.steering is not None:
+            payload["steering"] = self.steering
+        return payload
 
     def to_json(self, indent: int | None = 2) -> str:
         """A stable serialisation: sorted keys, rounded floats."""

@@ -48,6 +48,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
 from hashlib import blake2b
 from multiprocessing import get_context
+from typing import TYPE_CHECKING
 
 from repro import perf
 from repro.vns.service import VideoNetworkService
@@ -59,6 +60,9 @@ from repro.workload.engine import (
     CampaignStats,
 )
 from repro.workload.report import CampaignAggregator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (steering imports us back)
+    from repro.steering.engine import SteeringEngine
 
 #: The engine phases whose per-shard timings shards report.
 PHASES = ("resolve", "simulate", "aggregate")
@@ -170,7 +174,12 @@ class ShardPlan:
 
 @dataclass(slots=True)
 class ShardTask:
-    """One shard's work order (pickled to a worker)."""
+    """One shard's work order (pickled to a worker).
+
+    ``steering`` rides along as plain data (health table, policy,
+    prefix-region map); every worker gets its own copy, which is safe
+    because decisions are pure per call — no cross-shard state.
+    """
 
     index: int
     calls: list[CallSpec]
@@ -179,6 +188,7 @@ class ShardTask:
     attempt: int = 0
     fail_attempts: int = 0  #: injected fault: raise on the first N attempts
     keep_results: bool = True
+    steering: "SteeringEngine | None" = None
 
 
 @dataclass(slots=True)
@@ -318,7 +328,7 @@ def _execute_shard(service: VideoNetworkService, task: ShardTask) -> _ShardResul
     before = perf.snapshot()
     perf.enable()
     try:
-        engine = CampaignEngine(service, task.config)
+        engine = CampaignEngine(service, task.config, steering=task.steering)
         run = engine.run(task.calls)
     finally:
         after = perf.snapshot()
@@ -362,6 +372,10 @@ class ShardedCampaignRunner:
     world_spec:
         Recipe for the ``"rebuild"`` transport (and for in-process
         execution when no ``service`` was given).
+    steering:
+        Optional :class:`~repro.steering.engine.SteeringEngine`, shipped
+        to every shard; the reduced report carries the same steering
+        columns, byte-identical to the sequential engine's.
     """
 
     def __init__(
@@ -371,6 +385,7 @@ class ShardedCampaignRunner:
         plan: ShardPlan | None = None,
         *,
         world_spec: WorldSpec | None = None,
+        steering: "SteeringEngine | None" = None,
     ) -> None:
         self.config = config if config is not None else CampaignConfig()
         self.plan = plan if plan is not None else ShardPlan()
@@ -383,6 +398,7 @@ class ShardedCampaignRunner:
         self._service = service
         self._world_spec = world_spec
         self._fail_map = dict(self.plan.fail_injections)
+        self.steering = steering
 
     # ------------------------------------------------------------------ #
 
@@ -399,6 +415,7 @@ class ShardedCampaignRunner:
                 shard_seed=shard_seed(self.config.seed, index),
                 fail_attempts=self._fail_map.get(index, 0),
                 keep_results=self.plan.keep_results,
+                steering=self.steering,
             )
             for index, slice_ in enumerate(slices)
         ]
@@ -593,6 +610,7 @@ class ShardedCampaignRunner:
             seed=self.config.seed,
             n_failed=stats.calls_failed,
             turn_allocations=stats.turn_allocations,
+            steering_policy=None if self.steering is None else self.steering.policy.name,
         )
         return ShardedCampaignRun(
             results=results,

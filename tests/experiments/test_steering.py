@@ -1,0 +1,87 @@
+"""Shape tests for the steering-policy comparison experiment."""
+
+import json
+
+import pytest
+
+from repro.experiments import steering
+from repro.experiments.common import RunConfig, run
+from repro.workload import ShardPlan
+
+KWARGS = dict(
+    n_users=50,
+    calls_per_user_day=2.0,
+    days=1,
+    seed=3,
+    telemetry_minutes=480.0,
+    telemetry_hosts=1,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison(small_world):
+    return steering.run(small_world, **KWARGS)
+
+
+class TestSteeringExperiment:
+    def test_runs_every_policy(self, comparison):
+        assert set(comparison.runs) == set(steering.DEFAULT_POLICIES)
+        for name, campaign_run in comparison.runs.items():
+            assert campaign_run.report.steering is not None
+            assert campaign_run.report.steering["policy"] == name
+
+    def test_policies_share_the_campaign(self, comparison):
+        n_calls = {run_.report.n_calls for run_ in comparison.runs.values()}
+        assert len(n_calls) == 1  # same users, arrivals and resolution
+
+    def test_policy_ordering(self, comparison):
+        always = comparison.report("always_vns")
+        threshold = comparison.report("threshold_offload")
+        budgeted = comparison.report("cost_budgeted")
+        assert always["offload_rate"] == 0.0
+        assert threshold["offload_rate"] > 0.0
+        # Half the projected bytes exceed what QoE-comparability alone
+        # offloads at this scale.
+        assert budgeted["backbone_bytes_saved"] > threshold["backbone_bytes_saved"]
+
+    def test_seed_reproduces(self, small_world, comparison):
+        again = steering.run(small_world, **KWARGS)
+        assert again.to_json() == comparison.to_json()
+
+    def test_sharded_matches_sequential(self, small_world, comparison):
+        sharded = steering.run(
+            small_world,
+            **KWARGS,
+            policies=("threshold_offload",),
+            shard_plan=ShardPlan(n_workers=2, n_shards=3, force_inprocess=True),
+        )
+        assert (
+            sharded.runs["threshold_offload"].report.to_json()
+            == comparison.runs["threshold_offload"].report.to_json()
+        )
+
+    def test_to_json_is_stable_and_parseable(self, comparison):
+        payload = json.loads(comparison.to_json())
+        assert payload["seed"] == KWARGS["seed"]
+        assert set(payload["policies"]) == set(steering.DEFAULT_POLICIES)
+
+    def test_render_has_policy_rows(self, comparison):
+        text = steering.render(comparison)
+        assert "Steering policies" in text
+        for name in steering.DEFAULT_POLICIES:
+            assert name in text
+        assert len(text.splitlines()) == 2 + len(comparison.runs)
+
+    def test_budget_fraction_validated(self, small_world):
+        with pytest.raises(ValueError):
+            steering.run(small_world, budget_fraction=1.5)
+
+    def test_uniform_api_entry(self, small_world):
+        result = run(
+            small_world,
+            RunConfig.of(
+                "steering", policies=("always_vns",), **KWARGS
+            ),
+        )
+        assert result.report("always_vns")["offload_rate"] == 0.0
+        assert "Steering policies" in result.render()

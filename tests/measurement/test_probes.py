@@ -4,9 +4,13 @@ import numpy as np
 import pytest
 
 from repro.geo.regions import WorldRegion
-from repro.measurement.probes import LossProbeCampaign, select_hosts
+from repro.measurement.probes import LossProbeCampaign, ProbeObservation, select_hosts
 from repro.measurement.scheduler import Round
 from repro.net.asn import ASType
+
+
+def _host(small_world):
+    return select_hosts(small_world.service, seed=0, per_type_per_region=1)[0]
 
 
 class TestSelectHosts:
@@ -28,6 +32,47 @@ class TestSelectHosts:
         # Hosts should span several distinct prefixes.
         assert len({h.prefix for h in hosts}) > len(hosts) // 2
 
+    def test_explicit_seed_is_deterministic(self, small_world):
+        first = select_hosts(small_world.service, seed=7, per_type_per_region=2)
+        second = select_hosts(small_world.service, seed=7, per_type_per_region=2)
+        assert first == second
+        # ...and matches an explicitly seeded generator.
+        rng = np.random.default_rng(7)
+        assert select_hosts(small_world.service, rng, per_type_per_region=2) == first
+
+    def test_rng_and_seed_are_exclusive(self, small_world):
+        with pytest.raises(ValueError):
+            select_hosts(small_world.service, np.random.default_rng(0), seed=1)
+        with pytest.raises(ValueError):
+            select_hosts(small_world.service)
+
+
+class TestProbeObservationBoundaries:
+    def test_zero_probes_sent(self, small_world):
+        obs = ProbeObservation(
+            pop_code="AMS",
+            host=_host(small_world),
+            round=Round(day=0, hour_cet=0.0),
+            sent=0,
+            lost=0,
+        )
+        assert obs.loss_fraction == 0.0
+        assert obs.loss_percent == 0.0
+        assert not obs.had_loss
+        assert obs.min_rtt_ms is None
+
+    def test_total_loss(self, small_world):
+        obs = ProbeObservation(
+            pop_code="AMS",
+            host=_host(small_world),
+            round=Round(day=0, hour_cet=0.0),
+            sent=100,
+            lost=100,
+        )
+        assert obs.loss_fraction == 1.0
+        assert obs.loss_percent == 100.0
+        assert obs.had_loss
+
 
 class TestCampaign:
     def test_probe_observation(self, small_world):
@@ -39,6 +84,8 @@ class TestCampaign:
         assert obs.sent == 100
         assert 0 <= obs.lost <= 100
         assert obs.loss_percent == pytest.approx(obs.lost)
+        # At least one echo came back, so the round's floor RTT is real.
+        assert obs.min_rtt_ms is not None and obs.min_rtt_ms > 0.0
 
     def test_run_counts(self, small_world):
         rng = np.random.default_rng(0)

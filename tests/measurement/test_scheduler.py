@@ -7,6 +7,7 @@ from repro.measurement.scheduler import (
     half_hourly_rounds,
     hourly_rounds,
     rounds_every,
+    rounds_per_day,
 )
 
 
@@ -44,3 +45,57 @@ class TestRounds:
     def test_round_dataclass(self):
         r = Round(day=2, hour_cet=3.0)
         assert r.absolute_hours == 51.0
+
+
+class TestRoundsPerDay:
+    def test_divisible_periods_exact(self):
+        assert rounds_per_day(30.0) == 48
+        assert rounds_per_day(10.0) == 144
+        assert rounds_per_day(1440.0) == 1
+
+    def test_non_divisible_keeps_last_in_day_round(self):
+        # 100-minute period: rounds at 0:00, 1:40, ..., 23:20 — fifteen
+        # rounds start inside the day.  int(round(1440/100)) == 14 was
+        # the regression: the 23:20 round silently vanished.
+        assert rounds_per_day(100.0) == 15
+
+    def test_non_divisible_never_invents_a_round(self):
+        # 7-hour period: 0:00, 7:00, 14:00, 21:00 — four rounds; the
+        # next would start at 28:00, outside the day.
+        assert rounds_per_day(420.0) == 4
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            rounds_per_day(0.0)
+        with pytest.raises(ValueError):
+            rounds_per_day(-30.0)
+
+
+class TestStartHourWrap:
+    def test_wrapped_rounds_attributed_to_next_day(self):
+        # Anchored at 22:00, a 90-minute period crosses midnight within
+        # the first day's slots; post-midnight rounds belong to day 1.
+        rounds = rounds_every(90.0, days=1, start_hour=22.0)
+        assert len(rounds) == 16
+        assert rounds[0] == Round(day=0, hour_cet=22.0)
+        assert rounds[1] == Round(day=0, hour_cet=23.5)
+        assert rounds[2] == Round(day=1, hour_cet=1.0)
+
+    def test_absolute_hours_monotone_with_start_hour(self):
+        # The regression: hour % 24 without the day bump made
+        # absolute_hours jump backwards at every midnight wrap.
+        rounds = rounds_every(100.0, days=3, start_hour=18.0)
+        absolute = [r.absolute_hours for r in rounds]
+        assert absolute == sorted(absolute)
+
+    def test_non_divisible_round_count_pinned(self):
+        assert len(rounds_every(100.0, days=2)) == 2 * 15
+        assert [r.hour_cet for r in rounds_every(100.0, days=1)][-1] == pytest.approx(
+            23.0 + 20.0 / 60.0
+        )
+
+    def test_start_hour_validation(self):
+        with pytest.raises(ValueError):
+            rounds_every(60.0, days=1, start_hour=24.0)
+        with pytest.raises(ValueError):
+            rounds_every(60.0, days=1, start_hour=-0.5)
