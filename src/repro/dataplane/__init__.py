@@ -21,7 +21,8 @@ from repro.dataplane.loss import (
     LossModel,
     congestion_loss_probability,
 )
-from repro.dataplane.link import SegmentKind, PathSegment
+from repro.dataplane.columnar import StreamColumnSpec, simulate_stream_columns
+from repro.dataplane.link import SegmentKind, SegmentLossParams, PathSegment
 from repro.dataplane.path import (
     DataPath,
     access_path,
@@ -49,7 +50,10 @@ __all__ = [
     "GilbertElliottLoss",
     "congestion_loss_probability",
     "SegmentKind",
+    "SegmentLossParams",
     "PathSegment",
+    "StreamColumnSpec",
+    "simulate_stream_columns",
     "DataPath",
     "access_path",
     "assemble_as_path_waypoints",

@@ -13,7 +13,9 @@ weights from :mod:`repro.dataplane.calibration`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import NamedTuple
 
 import numpy as np
 
@@ -26,8 +28,37 @@ from repro.geo.regions import WorldRegion
 from repro.net.asn import ASType
 
 
+@lru_cache(maxsize=None)
+def _segment_distance_km(start: GeoPoint, end: GeoPoint) -> float:
+    """Memoised great-circle distance between segment endpoints.
+
+    Segment endpoints are a small, heavily-reused set (PoPs, cities,
+    prefix locations), and every delay/loss parameter derivation starts
+    from this distance — the haversine was a top-3 campaign hotspot
+    before caching.
+    """
+    return great_circle_km(start, end)
+
+
+@lru_cache(maxsize=None)
+def _transit_diurnal(region: WorldRegion, hour_cet: float) -> float:
+    """Memoised transit diurnal factor — tiny (region, hour-bin) keyspace."""
+    return transit_profile(region).factor_cet(hour_cet, region)
+
+
+@lru_cache(maxsize=None)
+def _access_diurnal(region: WorldRegion, as_type: ASType, hour_cet: float) -> float:
+    """Memoised access diurnal factor — tiny (region, type, hour) keyspace."""
+    return access_profile(region, as_type).factor_cet(hour_cet, region)
+
+
 class SegmentKind(enum.Enum):
     """What kind of infrastructure a segment crosses."""
+
+    # Members are singletons, so identity hashing is sound — and C-level,
+    # unlike Enum's Python ``__hash__``, which showed up on campaign
+    # profiles under every calibration-table and memo-cache lookup.
+    __hash__ = object.__hash__
 
     ACCESS = "access"  #: last mile into the destination/source AS
     TRANSIT = "transit"  #: a transit provider's infrastructure
@@ -36,6 +67,110 @@ class SegmentKind(enum.Enum):
 
     def __str__(self) -> str:
         return self.value
+
+
+#: Per-kind path-inflation factors (hoisted — ``delay_ms`` is hot).
+_PATH_INFLATION: dict[SegmentKind, float] = {
+    SegmentKind.ACCESS: cal.ACCESS_PATH_INFLATION,
+    SegmentKind.TRANSIT: cal.TRANSIT_PATH_INFLATION,
+    SegmentKind.VNS_L2: cal.VNS_PATH_INFLATION,
+    SegmentKind.PEERING: cal.TRANSIT_PATH_INFLATION,
+}
+
+
+@lru_cache(maxsize=None)
+def _segment_delay_ms(segment: "PathSegment") -> float:
+    """Base (impairment-free) one-way delay of a segment, memoised by value."""
+    inflation = _PATH_INFLATION[segment.kind]
+    return propagation_delay_ms(segment.distance_km, inflation) + cal.PER_HOP_DELAY_MS
+
+
+class SegmentLossParams(NamedTuple):
+    """The resolved loss-distribution parameters of one segment at one hour.
+
+    This is the columnar kernel's view of a segment: everything the
+    stochastic loss model needs, with geography, AS classes and diurnal
+    profiles already folded in.  Produced by
+    :meth:`PathSegment.loss_params`; consumed by
+    :mod:`repro.dataplane.columnar`, which samples the *same*
+    distributions as :meth:`PathSegment.sample_slot_rates` from these
+    numbers alone (no further topology lookups in the hot loop).
+
+    Field use by kind:
+
+    * ACCESS — ``occurrence`` (episode probability) and ``mean_rate``
+      (in-episode mean, lognormal-corrected).
+    * TRANSIT — ``spread_prob``/``rate_mult`` (long-haul spread
+      component) and ``burst_scale_120s`` (burst occurrence scale per
+      120 s of exposure, congestion- and haul-weighted).
+    * VNS_L2 — ``spread_prob`` and the ``uniform_lo``/``uniform_hi``
+      in-spread rate range.
+    * PEERING — loss-free; only ``extra_loss`` can apply.
+
+    ``extra_loss`` is the :class:`DegradedSegment` impairment (0.0 for a
+    healthy segment), added after the stochastic draw and clipped to
+    0.95 exactly as the scalar sampler does.
+    """
+
+    kind: SegmentKind
+    long_haul: bool = False
+    extra_loss: float = 0.0
+    occurrence: float = 0.0
+    mean_rate: float = 0.0
+    spread_prob: float = 0.0
+    rate_mult: float = 0.0
+    burst_scale_120s: float = 0.0
+    uniform_lo: float = 0.0
+    uniform_hi: float = 0.0
+
+
+class _SegmentStatic(NamedTuple):
+    """Hour-independent loss-model constants of one segment.
+
+    Everything in :meth:`PathSegment.loss_params` that does not depend on
+    the hour — geography, corridor spread, rate multipliers, the static
+    congestion mean, and the access base-loss table entry — resolved once
+    per segment (memoised by :func:`_segment_static`).  The hour-dependent
+    remainder is just a couple of memoised diurnal-factor lookups and
+    scalar arithmetic, which is what keeps parameter resolution off the
+    campaign profile.
+    """
+
+    long_haul: bool
+    end_region: WorldRegion
+    congestion_static: float
+    anchor: WorldRegion
+    corridor_prob: float
+    rate_mult: float
+    access_base: float
+
+
+@lru_cache(maxsize=None)
+def _segment_static(segment: "PathSegment") -> _SegmentStatic:
+    """The hour-independent constants of ``segment`` (memoised)."""
+    start_region = region_of_point(segment.start)
+    end_region = region_of_point(segment.end)
+    regions = (start_region, end_region)
+    # Two-element mean, spelled out (same bits as np.mean: sum then halve).
+    static = (cal.REGION_CONGESTION[start_region] + cal.REGION_CONGESTION[end_region]) / 2.0
+    anchor = max(regions, key=lambda region: cal.REGION_CONGESTION[region])
+    corridor_prob, corridor_mult = segment._corridor()
+    distance_mult = min(
+        cal.DIST_RATE_MAX,
+        max(cal.DIST_RATE_MIN, segment.distance_km / cal.DIST_RATE_REF_KM),
+    )
+    owner_mult = cal.OWNER_RATE_MULT.get(segment.owner_type, 1.0)
+    as_type = segment.as_type or ASType.EC
+    base_table = cal.ACCESS_BASE_LOSS.get(end_region, cal.ACCESS_BASE_LOSS_DEFAULT)
+    return _SegmentStatic(
+        long_haul=segment.distance_km > cal.LONG_HAUL_KM,
+        end_region=end_region,
+        congestion_static=static,
+        anchor=anchor,
+        corridor_prob=corridor_prob,
+        rate_mult=corridor_mult * distance_mult * owner_mult,
+        access_base=base_table[as_type],
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,10 +198,32 @@ class PathSegment:
     as_type: ASType | None = None
     owner_type: ASType | None = None
     label: str = ""
+    #: value hash, precomputed once — segments key the loss-param and
+    #: delay memo caches, and the generated dataclass hash (two points
+    #: plus three enum members, all Python-level) dominated those lookups.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    # Unannotated on purpose: a plain class attribute, not a field.  A
+    # healthy segment has no impairment; :class:`DegradedSegment`'s
+    # ``extra_loss`` field shadows this, so ``self.extra_loss`` reads
+    # without the exception-driven ``getattr(..., 0.0)`` dance.
+    extra_loss = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (self.kind, self.start, self.end, self.as_type, self.owner_type, self.label)
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def distance_km(self) -> float:
-        return great_circle_km(self.start, self.end)
+        return _segment_distance_km(self.start, self.end)
 
     @property
     def is_long_haul(self) -> bool:
@@ -82,13 +239,7 @@ class PathSegment:
 
     def delay_ms(self) -> float:
         """One-way delay contribution, including a per-hop constant."""
-        inflation = {
-            SegmentKind.ACCESS: cal.ACCESS_PATH_INFLATION,
-            SegmentKind.TRANSIT: cal.TRANSIT_PATH_INFLATION,
-            SegmentKind.VNS_L2: cal.VNS_PATH_INFLATION,
-            SegmentKind.PEERING: cal.TRANSIT_PATH_INFLATION,
-        }[self.kind]
-        return propagation_delay_ms(self.distance_km, inflation) + cal.PER_HOP_DELAY_MS
+        return _segment_delay_ms(self)
 
     # -------------------------------------------------------------- #
     # loss sampling
@@ -167,17 +318,73 @@ class PathSegment:
             return self._vns_rates_batch(n_streams, n_slots, rng)
         return np.zeros((n_streams, n_slots))  # PEERING hand-offs are loss-free
 
+    @lru_cache(maxsize=None)
+    def loss_params(self, hour_cet: float) -> SegmentLossParams:
+        """The loss-distribution parameters this segment samples from.
+
+        One call per (segment, hour) replaces the per-draw geography /
+        diurnal lookups; the returned struct is what the columnar kernel
+        (:mod:`repro.dataplane.columnar`) vectorises over.  Kept in
+        lock-step with :meth:`sample_slot_rates` by sharing the memoised
+        statics and diurnal factors — the distribution-identity tests pin
+        the equivalence.  Memoised by value: paths do not share segment
+        objects, but thousands of paths cross value-equal segments.
+        """
+        extra = self.extra_loss
+        static = _segment_static(self)
+        long_haul = static.long_haul
+        if self.kind is SegmentKind.ACCESS:
+            as_type = self.as_type or ASType.EC
+            weight = cal.ACCESS_DIURNAL_WEIGHT[as_type]
+            diurnal = _access_diurnal(static.end_region, as_type, hour_cet)
+            factor = (1.0 - weight) + weight * diurnal
+            occurrence = min(0.9, cal.ACCESS_OCCURRENCE[as_type] * factor)
+            return SegmentLossParams(
+                kind=self.kind,
+                long_haul=long_haul,
+                extra_loss=extra,
+                occurrence=occurrence,
+                mean_rate=static.access_base * factor / max(occurrence, 1e-9),
+            )
+        if self.kind is SegmentKind.TRANSIT:
+            diurnal = _transit_diurnal(static.anchor, hour_cet)
+            congestion = static.congestion_static * diurnal
+            return SegmentLossParams(
+                kind=self.kind,
+                long_haul=long_haul,
+                extra_loss=extra,
+                spread_prob=(
+                    min(0.95, static.corridor_prob * diurnal) if long_haul else 0.0
+                ),
+                rate_mult=static.rate_mult if long_haul else 0.0,
+                burst_scale_120s=congestion if long_haul else 0.3 * congestion,
+            )
+        if self.kind is SegmentKind.VNS_L2:
+            if long_haul:
+                spread_prob = cal.VNS_L2_LONG_SPREAD_PROB
+                lo, hi = cal.VNS_L2_LONG_RATE
+            else:
+                spread_prob = cal.VNS_L2_INTRA_SPREAD_PROB
+                lo, hi = cal.VNS_L2_INTRA_RATE
+            return SegmentLossParams(
+                kind=self.kind,
+                long_haul=long_haul,
+                extra_loss=extra,
+                spread_prob=spread_prob,
+                uniform_lo=lo,
+                uniform_hi=hi,
+            )
+        return SegmentLossParams(kind=self.kind, long_haul=long_haul, extra_loss=extra)
+
     def _access_params(self, hour_cet: float) -> tuple[float, float]:
         """(episode occurrence probability, in-episode mean rate)."""
+        static = _segment_static(self)
         as_type = self.as_type or ASType.EC
-        region = self.end_region
-        base_table = cal.ACCESS_BASE_LOSS.get(region, cal.ACCESS_BASE_LOSS_DEFAULT)
-        base = base_table[as_type]
         weight = cal.ACCESS_DIURNAL_WEIGHT[as_type]
-        diurnal = access_profile(region, as_type).factor_cet(hour_cet, region)
+        diurnal = _access_diurnal(static.end_region, as_type, hour_cet)
         factor = (1.0 - weight) + weight * diurnal
         occurrence = min(0.9, cal.ACCESS_OCCURRENCE[as_type] * factor)
-        mean_rate = base * factor / max(occurrence, 1e-9)
+        mean_rate = static.access_base * factor / max(occurrence, 1e-9)
         return occurrence, mean_rate
 
     def _access_rates(
@@ -209,14 +416,14 @@ class PathSegment:
         return np.where(episodes, np.clip(mean_rate * draws, 0.0, 0.5), 0.0)
 
     def _congestion(self, hour_cet: float) -> float:
-        """Mean regional congestion across the segment's endpoints."""
-        regions = (self.start_region, self.end_region)
-        static = float(
-            np.mean([cal.REGION_CONGESTION[region] for region in regions])
-        )
-        # Anchor the diurnal cycle at the more congested end.
-        anchor = max(regions, key=lambda region: cal.REGION_CONGESTION[region])
-        return static * transit_profile(anchor).factor_cet(hour_cet, anchor)
+        """Mean regional congestion across the segment's endpoints.
+
+        The static mean and the diurnal anchor (the more congested end)
+        come from :func:`_segment_static`; only the diurnal factor varies
+        with the hour.
+        """
+        static = _segment_static(self)
+        return static.congestion_static * _transit_diurnal(static.anchor, hour_cet)
 
     def _corridor(self) -> tuple[float, float]:
         """(spread probability, rate multiplier) of this segment's corridor.
@@ -245,23 +452,13 @@ class PathSegment:
 
     def _spread_probability(self, hour_cet: float) -> float:
         """Per-stream probability of an always-on random-loss component."""
-        prob, _ = self._corridor()
-        anchor = max(
-            (self.start_region, self.end_region),
-            key=lambda region: cal.REGION_CONGESTION[region],
-        )
-        diurnal = transit_profile(anchor).factor_cet(hour_cet, anchor)
-        return min(0.95, prob * diurnal)
+        static = _segment_static(self)
+        diurnal = _transit_diurnal(static.anchor, hour_cet)
+        return min(0.95, static.corridor_prob * diurnal)
 
     def _rate_multiplier(self) -> float:
         """Distance, corridor, and trunk-owner scaling of spread rates."""
-        _, corridor_mult = self._corridor()
-        distance_mult = min(
-            cal.DIST_RATE_MAX,
-            max(cal.DIST_RATE_MIN, self.distance_km / cal.DIST_RATE_REF_KM),
-        )
-        owner_mult = cal.OWNER_RATE_MULT.get(self.owner_type, 1.0)
-        return corridor_mult * distance_mult * owner_mult
+        return _segment_static(self).rate_mult
 
     def _transit_rates(
         self,
@@ -385,6 +582,7 @@ class DegradedSegment(PathSegment):
     extra_delay_ms: float = 0.0
 
     def __post_init__(self) -> None:
+        PathSegment.__post_init__(self)
         if not 0.0 <= self.extra_loss < 1.0:
             raise ValueError(f"extra_loss must be in [0, 1), got {self.extra_loss!r}")
         if self.extra_delay_ms < 0.0:

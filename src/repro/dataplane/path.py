@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.dataplane.link import PathSegment, SegmentKind
 from repro.geo.coords import GeoPoint
@@ -26,14 +27,20 @@ class DataPath:
 
     segments: list[PathSegment]
     description: str = ""
+    #: lazily-computed RTT (segments are fixed after construction; both
+    #: the resolve and simulate phases ask for the same path's RTT).
+    _rtt_ms: float | None = field(default=None, repr=False, compare=False)
 
     def one_way_delay_ms(self) -> float:
         """Total one-way delay."""
         return sum(segment.delay_ms() for segment in self.segments)
 
     def rtt_ms(self) -> float:
-        """Round-trip time assuming a symmetric reverse path."""
-        return 2.0 * self.one_way_delay_ms()
+        """Round-trip time assuming a symmetric reverse path (memoised)."""
+        rtt = self._rtt_ms
+        if rtt is None:
+            rtt = self._rtt_ms = 2.0 * self.one_way_delay_ms()
+        return rtt
 
     def total_distance_km(self) -> float:
         """Sum of segment great-circle distances."""
@@ -55,6 +62,12 @@ class DataPath:
     def __str__(self) -> str:
         inner = " | ".join(str(segment) for segment in self.segments)
         return f"DataPath({self.description}: {inner})"
+
+
+@lru_cache(maxsize=None)
+def _as_at(asn: int, city_name: str) -> str:
+    """Memoised ``AS<n>@<city>`` waypoint label — a tiny, heavily reused set."""
+    return f"AS{asn}@{city_name}"
 
 
 def assemble_as_path_waypoints(
@@ -80,11 +93,11 @@ def assemble_as_path_waypoints(
     for asn in as_path:
         system = topology.autonomous_system(asn)
         entry = system.nearest_presence(current)
-        waypoints.append((entry.location, f"AS{asn}@{entry.city.name}", system.as_type))
+        waypoints.append((entry.location, _as_at(asn, entry.city.name), system.as_type))
         exit_point = system.nearest_presence(destination)
         if exit_point.city.name != entry.city.name:
             waypoints.append(
-                (exit_point.location, f"AS{asn}@{exit_point.city.name}", system.as_type)
+                (exit_point.location, _as_at(asn, exit_point.city.name), system.as_type)
             )
         current = exit_point.location
     return waypoints

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from repro.dataplane import calibration as cal
-from repro.dataplane.link import SegmentKind
+from repro.dataplane.link import PathSegment, SegmentKind
 from repro.dataplane.path import DataPath
 
 
@@ -97,18 +98,60 @@ def combine_rates(per_segment: list[np.ndarray], n_slots: int | None = None) -> 
     return 1.0 - survival
 
 
+@lru_cache(maxsize=None)
+def _jitter_rate_factor(pps: float) -> float:
+    """Memoised packet-rate jitter factor (one sqrt per distinct rate)."""
+    return float(np.sqrt(cal.JITTER_REFERENCE_PPS / max(pps, 1.0)))
+
+
+def _jitter_scale_from_traits(traits, pps: float) -> float:
+    """Jitter scale from ``(kind, is_long_haul)`` segment traits.
+
+    Shared between the scalar path (which reads traits off the
+    :class:`DataPath`) and the columnar kernel (which reads them off
+    cached :class:`~repro.dataplane.link.SegmentLossParams`), so the two
+    cannot drift apart.
+    """
+    congestion_terms = 0.0
+    for kind, long_haul in traits:
+        if kind is SegmentKind.TRANSIT and long_haul:
+            congestion_terms += 0.5
+        elif kind is SegmentKind.ACCESS:
+            congestion_terms += 0.3
+        elif kind is SegmentKind.VNS_L2 and long_haul:
+            congestion_terms += 0.1
+    return cal.JITTER_BASE_SCALE_MS * (1.0 + congestion_terms) * _jitter_rate_factor(pps)
+
+
 def _jitter_scale(path: DataPath, hour_cet: float, pps: float) -> float:
     """Jitter scale: grows with congested transit hops, shrinks with pps."""
-    congestion_terms = 0.0
-    for segment in path.segments:
-        if segment.kind is SegmentKind.TRANSIT and segment.is_long_haul:
-            congestion_terms += 0.5
-        elif segment.kind is SegmentKind.ACCESS:
-            congestion_terms += 0.3
-        elif segment.kind is SegmentKind.VNS_L2 and segment.is_long_haul:
-            congestion_terms += 0.1
-    rate_factor = float(np.sqrt(cal.JITTER_REFERENCE_PPS / max(pps, 1.0)))
-    return cal.JITTER_BASE_SCALE_MS * (1.0 + congestion_terms) * rate_factor
+    return _jitter_scale_from_traits(
+        ((segment.kind, segment.is_long_haul) for segment in path.segments), pps
+    )
+
+
+def _stream_shape(
+    duration_s: float, packets_per_second: float, slot_s: float
+) -> tuple[int, int, int]:
+    """``(n_slots, packets_per_slot, final_packets)`` of a stream.
+
+    Guards degenerate shapes: a sub-packet-rate stream whose
+    ``packets_per_slot`` rounds to zero would report loss-free slots it
+    never carried a packet over (corrupting lossy-slot fractions), so it
+    is rejected; a partial final slot is clamped to carry at least one
+    packet for the same reason.
+    """
+    n_slots = slot_count(duration_s, slot_s)
+    packets_per_slot = int(round(packets_per_second * slot_s))
+    if packets_per_slot < 1:
+        raise ValueError(
+            "packets_per_second * slot_s rounds to zero packets per slot "
+            f"(packets_per_second={packets_per_second!r}, slot_s={slot_s!r}); "
+            "sub-packet-rate streams cannot be slot-accounted"
+        )
+    final_slot_s = duration_s - (n_slots - 1) * slot_s
+    final_packets = max(1, int(round(packets_per_second * final_slot_s)))
+    return n_slots, packets_per_slot, final_packets
 
 
 def simulate_stream(
@@ -125,14 +168,15 @@ def simulate_stream(
     Raises
     ------
     ValueError
-        For non-positive duration, packet rate, or slot length.
+        For non-positive duration, packet rate, or slot length, and for
+        sub-packet-rate streams (``packets_per_second * slot_s`` rounding
+        to zero packets per slot).
     """
     if duration_s <= 0 or packets_per_second <= 0 or slot_s <= 0:
         raise ValueError("duration, packet rate and slot length must be positive")
-    n_slots = slot_count(duration_s, slot_s)
-    packets_per_slot = int(round(packets_per_second * slot_s))
-    final_slot_s = duration_s - (n_slots - 1) * slot_s
-    final_packets = int(round(packets_per_second * final_slot_s))
+    n_slots, packets_per_slot, final_packets = _stream_shape(
+        duration_s, packets_per_second, slot_s
+    )
     per_segment = [
         segment.sample_slot_rates(n_slots, hour_cet, rng) for segment in path.segments
     ]
@@ -189,10 +233,9 @@ def simulate_stream_batch(
         raise ValueError(f"n_streams must be positive, got {n_streams!r}")
     if duration_s <= 0 or packets_per_second <= 0 or slot_s <= 0:
         raise ValueError("duration, packet rate and slot length must be positive")
-    n_slots = slot_count(duration_s, slot_s)
-    packets_per_slot = int(round(packets_per_second * slot_s))
-    final_slot_s = duration_s - (n_slots - 1) * slot_s
-    final_packets = int(round(packets_per_second * final_slot_s))
+    n_slots, packets_per_slot, final_packets = _stream_shape(
+        duration_s, packets_per_second, slot_s
+    )
     per_segment = [
         segment.sample_slot_rates_batch(n_streams, n_slots, hour_cet, rng)
         for segment in path.segments
@@ -305,12 +348,23 @@ def simulate_probe_round(
     per_segment = []
     for segment in path.segments:
         # A 100-packet back-to-back round occupies the wire for ~2 s.
-        rates = segment.sample_slot_rates(1, hour_cet, rng, duration_s=2.0)
         if segment.kind is SegmentKind.TRANSIT:
             # Back-to-back bursts stress trunk queues far more than paced
             # traffic (this is how the Sec. 5.2 probe averages and the
             # Sec. 5.1 paced-stream CCDFs coexist on the same corridors).
+            # The factor amplifies only the segment's own stochastic
+            # congestion state: an injected DegradedSegment.extra_loss is
+            # rate-independent path loss, so it stacks on top afterwards
+            # instead of being multiplied by the burst factor.
+            rates = PathSegment.sample_slot_rates(
+                segment, 1, hour_cet, rng, duration_s=2.0
+            )
             rates = np.minimum(rates * cal.PROBE_BURST_FACTOR, 0.95)
+            extra = getattr(segment, "extra_loss", 0.0)
+            if extra:
+                rates = np.clip(rates + extra, 0.0, 0.95)
+        else:
+            rates = segment.sample_slot_rates(1, hour_cet, rng, duration_s=2.0)
         per_segment.append(rates)
     rate = float(combine_rates(per_segment, 1)[0])
     lost = int(rng.binomial(packets, rate))
@@ -318,3 +372,24 @@ def simulate_probe_round(
     received = packets - lost
     rtts = (base_rtt + rng.exponential(0.6, size=received)).tolist() if received else []
     return PingResult(sent=packets, lost=lost, rtts_ms=rtts)
+
+
+def simulate_stream_columns(specs, **kwargs):
+    """Campaign-level columnar stream simulation.
+
+    Takes a list of :class:`~repro.dataplane.columnar.StreamColumnSpec`
+    (one per ``(group, transport)``) and simulates *every* stream of
+    *every* spec in a handful of wide numpy passes, returning one
+    ``list[StreamResult]`` per spec.  Each stream is distributed exactly
+    as a :func:`simulate_stream` call over the same path — the oracle
+    the columnar distribution-identity tests compare against — and every
+    draw is counter-keyed by ``(spec digest, salt, stream, purpose,
+    slot)``, so results are independent of chunking and spec order.
+
+    Thin facade over :func:`repro.dataplane.columnar.simulate_stream_columns`
+    (imported lazily — the kernel pulls in scipy-backed inverse-CDF
+    samplers that plain stream simulation does not need).
+    """
+    from repro.dataplane import columnar
+
+    return columnar.simulate_stream_columns(specs, **kwargs)

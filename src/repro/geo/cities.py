@@ -10,7 +10,9 @@ everywhere.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.geo.coords import GeoPoint
 from repro.geo.regions import POP_REGION_FOR_WORLD_REGION, PopRegion, WorldRegion
@@ -197,9 +199,48 @@ def cities_in_pop_region(region: PopRegion) -> tuple[City, ...]:
     return tuple(city for city in CITIES if city.pop_region is region)
 
 
+#: Per-city haversine terms ``(lat_rad, cos_lat, lon, city)``, built on
+#: the first reverse-geocoding miss.
+_CITY_TRIG: list[tuple[float, float, float, City]] | None = None
+
+
+@lru_cache(maxsize=None)
 def nearest_city(point: GeoPoint) -> City:
-    """The gazetteer city closest to ``point`` (coarse reverse geocoding)."""
-    return min(CITIES, key=lambda city: city.location.distance_km(point))
+    """The gazetteer city closest to ``point`` (coarse reverse geocoding).
+
+    Memoised: the function is pure, ``GeoPoint`` is frozen/hashable, and
+    real workloads reverse-geocode the same prefix/PoP/city locations
+    millions of times — the linear gazetteer scan was the campaign
+    engine's single hottest call before caching.  Misses compare raw
+    haversine terms (monotone in distance) with per-city trigonometry
+    hoisted; the argmin matches ranking by
+    :func:`~repro.geo.coords.great_circle_km`.
+    """
+    global _CITY_TRIG
+    trig = _CITY_TRIG
+    if trig is None:
+        trig = _CITY_TRIG = [
+            (
+                math.radians(city.location.lat),
+                math.cos(math.radians(city.location.lat)),
+                city.location.lon,
+                city,
+            )
+            for city in CITIES
+        ]
+    lat2 = math.radians(point.lat)
+    cos_lat2 = math.cos(lat2)
+    lon2 = point.lon
+    best = trig[0][3]
+    best_h = math.inf
+    for lat1, cos_lat1, lon1, city in trig:
+        dlat = lat2 - lat1
+        dlon = math.radians(lon2 - lon1)
+        h = math.sin(dlat / 2.0) ** 2 + cos_lat1 * cos_lat2 * math.sin(dlon / 2.0) ** 2
+        if h < best_h:
+            best_h = h
+            best = city
+    return best
 
 
 def region_of_point(point: GeoPoint) -> WorldRegion:

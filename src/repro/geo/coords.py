@@ -10,7 +10,7 @@ that matter most for egress tie-breaking.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 #: Mean Earth radius in kilometres (IUGG).
 EARTH_RADIUS_KM = 6371.0088
@@ -30,12 +30,19 @@ class GeoPoint:
 
     lat: float
     lon: float
+    #: value hash, precomputed once — points key several hot memo caches,
+    #: and the generated dataclass hash was itself showing up on profiles.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not -90.0 <= self.lat <= 90.0:
             raise ValueError(f"latitude {self.lat!r} outside [-90, 90]")
         if not -180.0 <= self.lon <= 180.0:
             raise ValueError(f"longitude {self.lon!r} outside [-180, 180]")
+        object.__setattr__(self, "_hash", hash((self.lat, self.lon)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def distance_km(self, other: "GeoPoint") -> float:
         """Great-circle distance to ``other`` in kilometres."""

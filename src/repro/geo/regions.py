@@ -21,6 +21,11 @@ import enum
 class WorldRegion(enum.Enum):
     """The seven user regions of Sec. 4.4."""
 
+    # Identity hashing for singleton members: C-level, unlike Enum's
+    # Python ``__hash__``, which dominated region-keyed table lookups on
+    # campaign profiles.
+    __hash__ = object.__hash__
+
     OCEANIA = "Oceania"
     ASIA_PACIFIC = "Asia Pacific"
     MIDDLE_EAST = "Middle East"
@@ -35,6 +40,8 @@ class WorldRegion(enum.Enum):
 
 class PopRegion(enum.Enum):
     """The four VNS PoP regions of Sec. 4.4."""
+
+    __hash__ = object.__hash__  # identity hashing — see WorldRegion
 
     EU = "EU"
     NA = "US"

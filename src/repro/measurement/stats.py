@@ -57,7 +57,15 @@ class Cdf:
 
 @dataclass(slots=True)
 class Ccdf:
-    """An empirical complementary CDF: P(X > x)."""
+    """An empirical complementary CDF, strictly: P(X > x).
+
+    One convention everywhere: the complement of the empirical
+    :class:`Cdf` (``P(X <= x)``), so ``ccdf.at(x) + cdf.at(x) == 1`` and
+    :meth:`series` agrees with :meth:`at` at every distinct sample point
+    (for ties, on the last row of the tie) — the
+    largest sample gets probability 0.  (``of`` used to assign it
+    ``1/n``, i.e. ``P(X >= x)``, silently disagreeing with ``at``.)
+    """
 
     xs: np.ndarray
     ps: np.ndarray
@@ -72,7 +80,7 @@ class Ccdf:
             For an empty sample set.
         """
         cdf = Cdf.of(values)
-        return cls(xs=cdf.xs, ps=1.0 - cdf.ps + 1.0 / cdf.xs.size)
+        return cls(xs=cdf.xs, ps=1.0 - cdf.ps)
 
     def at(self, x: float) -> float:
         """P(X > x)."""

@@ -9,7 +9,7 @@ operations (the hot path of the BGP simulator) inexpensive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import total_ordering
+from functools import lru_cache, total_ordering
 
 _MAX_ADDRESS = (1 << 32) - 1
 
@@ -31,6 +31,13 @@ def _parse_dotted_quad(text: str) -> int:
 
 def _format_dotted_quad(value: int) -> str:
     return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@lru_cache(maxsize=None)
+def _render_prefix(network: int, length: int) -> str:
+    """Memoised CIDR rendering — campaign reports stringify the same few
+    thousand prefixes tens of thousands of times per run."""
+    return f"{_format_dotted_quad(network)}/{length}"
 
 
 @total_ordering
@@ -187,7 +194,7 @@ class Prefix:
         return Prefix(network=self.network & mask, length=parent_length)
 
     def __str__(self) -> str:
-        return f"{_format_dotted_quad(self.network)}/{self.length}"
+        return _render_prefix(self.network, self.length)
 
     def __lt__(self, other: "Prefix") -> bool:
         if not isinstance(other, Prefix):

@@ -11,7 +11,9 @@ its access links are.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.geo.cities import City
 from repro.geo.coords import GeoPoint
@@ -20,6 +22,11 @@ from repro.net.addressing import Prefix
 
 class ASType(enum.Enum):
     """Dhamdhere-Dovrolis AS classes."""
+
+    # Identity hashing: C-level, correct for singleton members, and far
+    # cheaper than Enum's Python ``__hash__`` under the calibration-table
+    # lookups the loss model performs per segment.
+    __hash__ = object.__hash__
 
     LTP = "LTP"  #: Large Transit Provider (Tier-1-like, global footprint)
     STP = "STP"  #: Small Transit Provider (regional transit)
@@ -71,6 +78,9 @@ class AutonomousSystem:
     home: PresencePoint
     presence: list[PresencePoint] = field(default_factory=list)
     prefixes: list[Prefix] = field(default_factory=list)
+    #: lazily-built per-presence haversine terms (lat_rad, cos_lat, lon,
+    #: point), computed on the first nearest-presence query.
+    _presence_trig: list | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.asn <= 0:
@@ -92,13 +102,48 @@ class AutonomousSystem:
         """Cities where the AS has a presence point."""
         return [point.city for point in self.presence]
 
+    @lru_cache(maxsize=None)
     def nearest_presence(self, target: GeoPoint) -> PresencePoint:
         """The presence point geographically nearest to ``target``.
 
         Models hot-potato waypoint selection inside a transit AS when
-        assembling data-plane paths.
+        assembling data-plane paths.  Memoised per ``(AS, target)``: path
+        assembly asks the same transit ASes about the same prefix and
+        PoP locations for every pair that crosses them.  On a miss the
+        scan compares raw haversine terms (monotone in distance) with the
+        per-presence trigonometry hoisted — same argmin as ranking by
+        :func:`~repro.geo.coords.great_circle_km`, at a fraction of the
+        per-candidate cost.
         """
-        return min(self.presence, key=lambda p: p.location.distance_km(target))
+        trig = self._presence_trig
+        if trig is None:
+            trig = self._presence_trig = [
+                (
+                    math.radians(p.location.lat),
+                    math.cos(math.radians(p.location.lat)),
+                    p.location.lon,
+                    p,
+                )
+                for p in self.presence
+            ]
+        if len(trig) == 1:
+            return trig[0][3]
+        lat2 = math.radians(target.lat)
+        cos_lat2 = math.cos(lat2)
+        lon2 = target.lon
+        best = trig[0][3]
+        best_h = math.inf
+        for lat1, cos_lat1, lon1, point in trig:
+            dlat = lat2 - lat1
+            dlon = math.radians(lon2 - lon1)
+            h = (
+                math.sin(dlat / 2.0) ** 2
+                + cos_lat1 * cos_lat2 * math.sin(dlon / 2.0) ** 2
+            )
+            if h < best_h:
+                best_h = h
+                best = point
+        return best
 
     def __str__(self) -> str:
         return f"AS{self.asn}({self.as_type}, {self.home.city.name})"

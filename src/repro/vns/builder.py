@@ -83,6 +83,9 @@ class VnsDeployment:
     main_upstream_at: dict[str, int]  # PoP code -> designated transit ASN
     anycast_prefix: Prefix
     messages_delivered: int = 0
+    #: lazily-built ``session_pops`` memo (sessions are fixed once built;
+    #: egress selection asks for the same neighbours on every call).
+    _session_pops: dict[int, list[str]] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def neighbor_asns(self) -> list[int]:
@@ -100,11 +103,14 @@ class VnsDeployment:
         return self.network.relationships[asn]
 
     def session_pops(self, asn: int) -> list[str]:
-        """PoP codes where VNS has a session with ``asn``."""
-        return [
-            self.network.pop_of_router[router_id]
-            for router_id in self.sessions.get(asn, [])
-        ]
+        """PoP codes where VNS has a session with ``asn`` (memoised)."""
+        pops = self._session_pops.get(asn)
+        if pops is None:
+            pops = self._session_pops[asn] = [
+                self.network.pop_of_router[router_id]
+                for router_id in self.sessions.get(asn, [])
+            ]
+        return pops
 
 
 def _presence_city_names(system: AutonomousSystem) -> set[str]:

@@ -12,19 +12,32 @@ redundancy a real campaign has:
   ``(entry_pop, dst_prefix)`` cache hit rate is the headline number in
   ``BENCH_workload.json``.
 * **Streams over one path are exchangeable.**  Calls sharing a path
-  signature (prefix pair, hour bin, duration) are simulated as one
-  vectorised :func:`~repro.dataplane.transmit.simulate_stream_batch`
-  draw instead of a Python loop of scalar draws.
+  signature (prefix pair, hour bin, duration) are exchangeable and can
+  be simulated together.  The default ``"columnar"`` kernel goes
+  further: *all* groups are gathered into campaign-wide
+  struct-of-arrays columns and simulated in a handful of wide numpy
+  passes (:mod:`repro.dataplane.columnar`) — real campaigns have ~1
+  call per exact signature, so per-group batching alone barely helps.
+  The legacy ``"grouped"`` kernel (one
+  :func:`~repro.dataplane.transmit.simulate_stream_batch` call per
+  group) remains as the scipy-free fallback.
 
-**Determinism contract.**  Every simulation group draws from its own
-generator, keyed by ``(campaign seed, group signature)`` via a stable
-hash (:func:`group_rng`) — never by the order groups were encountered.
-A campaign's measurements therefore depend only on the seed and on
-*which* calls ran, not on how the call list was chunked, shuffled, or
-sharded across worker processes.  This is what lets
+**Determinism contract.**  Every simulation draw is keyed by
+``(campaign seed, group signature)`` via a stable blake2b hash
+(:func:`group_digest`) — never by the order groups were encountered.
+The grouped kernel seeds a per-group generator from it
+(:func:`group_rng`); the columnar kernel goes one level finer and keys
+each *individual* draw by ``(digest, transport, stream index, purpose,
+slot)`` counters, so its results are additionally independent of how
+streams were chunked into array passes.  A campaign's measurements
+therefore depend only on the seed and on *which* calls ran, not on how
+the call list was chunked, shuffled, or sharded across worker
+processes.  This is what lets
 :class:`~repro.workload.sharded.ShardedCampaignRunner` fan a campaign
 out over a process pool and still reproduce the sequential report
-byte for byte.
+byte for byte.  (The two kernels are distribution-identical but not
+bit-identical to each other: pick one per campaign, which
+:class:`CampaignConfig` pins.)
 
 The three phases are instrumented with :mod:`repro.perf` timers
 (``workload.resolve`` / ``workload.simulate`` / ``workload.aggregate``)
@@ -38,11 +51,14 @@ import hashlib
 import time
 import warnings
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro import perf
+from repro.dataplane import columnar
+from repro.dataplane.columnar import StreamColumnSpec, simulate_stream_columns
 from repro.dataplane.path import DataPath, internet_path
 from repro.dataplane.link import SegmentKind
 from repro.dataplane.transmit import StreamResult, simulate_stream_batch
@@ -75,21 +91,34 @@ class CampaignConfig:
     Parameters
     ----------
     seed:
-        Drives all simulation draws, via per-group generators (see the
+        Drives all simulation draws, via per-group keying (see the
         module docstring; arrival randomness lives in the
         :class:`~repro.workload.arrivals.CallArrivalProcess`).
     packets_per_second / slot_s:
         Stream shape, as for
         :func:`~repro.dataplane.transmit.simulate_stream`.
+    kernel:
+        Phase-2 simulation kernel: ``"columnar"`` (default — the
+        campaign-wide struct-of-arrays kernel of
+        :mod:`repro.dataplane.columnar`) or ``"grouped"`` (the legacy
+        per-group :func:`~repro.dataplane.transmit.simulate_stream_batch`
+        loop, also the automatic fallback when scipy is unavailable).
+        The kernels are distribution-identical, not bit-identical:
+        reports are reproducible within a kernel, not across them.
     """
 
     seed: int = 0
     packets_per_second: float = 420.0
     slot_s: float = 5.0
+    kernel: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.packets_per_second <= 0 or self.slot_s <= 0:
             raise ValueError("packets_per_second and slot_s must be positive")
+        if self.kernel not in ("columnar", "grouped"):
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; use 'columnar' or 'grouped'"
+            )
 
 
 #: A simulation-group signature: calls sharing one are exchangeable and
@@ -111,24 +140,45 @@ def group_key(spec: CallSpec) -> GroupKey:
     )
 
 
-def group_rng(seed: int, key: GroupKey) -> np.random.Generator:
-    """The dedicated generator for one simulation group.
+def group_digest(seed: int, key: GroupKey) -> tuple[int, int]:
+    """The 128-bit signature of one simulation group, as two 64-bit words.
 
-    Keyed on the campaign seed and the group signature through a stable
-    128-bit hash — deliberately **not** Python's ``hash()``, whose string
-    salting differs between (worker) processes.  Identical inputs yield
-    identical generators in any process, which is the foundation of the
-    sequential-vs-sharded equivalence guarantee.
+    A stable blake2b hash of ``(campaign seed, group signature)`` —
+    deliberately **not** Python's ``hash()``, whose string salting
+    differs between (worker) processes.  Identical inputs yield
+    identical words in any process, which is the foundation of the
+    sequential-vs-sharded equivalence guarantee.  Both kernels key off
+    these bytes: the grouped kernel seeds a generator from them
+    (:func:`group_rng`), the columnar kernel feeds them into per-draw
+    counters (:class:`~repro.dataplane.columnar.StreamColumnSpec`).
     """
     src, dst, hour_bin, duration_s = key
-    text = f"{seed}|{src}|{dst}|{hour_bin}|{duration_s:.6f}"
+    text = f"{seed}|{_prefix_text(src)}|{_prefix_text(dst)}|{hour_bin}|{duration_s:.6f}"
     digest = hashlib.blake2b(text.encode("ascii"), digest_size=16).digest()
-    return np.random.default_rng(
-        [
-            int.from_bytes(digest[0:8], "little"),
-            int.from_bytes(digest[8:16], "little"),
-        ]
+    return (
+        int.from_bytes(digest[0:8], "little"),
+        int.from_bytes(digest[8:16], "little"),
     )
+
+
+@lru_cache(maxsize=None)
+def _prefix_text(prefix: Prefix) -> str:
+    """``str(prefix)`` memoised — one group digest per group renders two."""
+    return str(prefix)
+
+
+def group_rng(seed: int, key: GroupKey) -> np.random.Generator:
+    """The grouped kernel's dedicated generator for one simulation group."""
+    return np.random.default_rng(list(group_digest(seed, key)))
+
+
+#: Transport salts separating a group's stream columns under the
+#: columnar kernel.  Baseline draws never depend on whether a detour
+#: column exists, so the baseline report columns stay bit-equal with
+#: and without steering.
+_SALT_VNS = 0
+_SALT_INTERNET = 1
+_SALT_DETOUR = 2
 
 
 @dataclass(slots=True)
@@ -358,7 +408,12 @@ class CampaignEngine:
         self._lastmile: dict[tuple[Prefix, str], DataPath] = {}
         self._onward: dict[tuple[str, Prefix], tuple[DataPath, EgressDecision] | None] = {}
         self._internet: dict[tuple[Prefix, Prefix], DataPath | None] = {}
-        self._pairs: dict[tuple[Prefix, Prefix], _ResolvedPair | None] = {}
+        # Pair cache values carry which per-leg caches the original miss
+        # actually consulted, so cache hits only re-count those legs (an
+        # entry-PoP failure short-circuits before either leg).
+        self._pairs: dict[
+            tuple[Prefix, Prefix], tuple[_ResolvedPair | None, bool, bool]
+        ] = {}
         # Steering-only caches: the forced local exit at a PoP, the full
         # per-pair detour path and the per-pair candidate RTTs.
         self._local_exit: dict[tuple[str, Prefix], DataPath | None] = {}
@@ -431,8 +486,10 @@ class CampaignEngine:
         cached = self._internet.get(key, _MISS)
         if cached is not _MISS:
             stats.internet_hits += 1
+            perf.incr("workload.cache.internet_hit")
             return cached
         stats.internet_misses += 1
+        perf.incr("workload.cache.internet_miss")
         topology = self.service.topology
         src_origin = topology.origin_as(src_prefix)
         dst_origin = topology.origin_as(dst_prefix)
@@ -466,24 +523,30 @@ class CampaignEngine:
         key = (src_prefix, dst_prefix)
         cached = self._pairs.get(key, _MISS)
         if cached is not _MISS:
-            # The pair cache short-circuits the per-leg caches; count the
-            # onward lookup it absorbed so hit rates reflect reuse.
-            stats.onward_hits += 1
-            stats.internet_hits += 1
-            perf.incr("workload.cache.onward_hit")
-            return cached
+            # The pair cache short-circuits the per-leg caches; re-count
+            # exactly the lookups the original miss performed, so hit
+            # rates reflect reuse without inflating legs a failed
+            # resolution never consulted.
+            pair, counted_onward, counted_internet = cached
+            if counted_onward:
+                stats.onward_hits += 1
+                perf.incr("workload.cache.onward_hit")
+            if counted_internet:
+                stats.internet_hits += 1
+                perf.incr("workload.cache.internet_hit")
+            return pair
         entry = self._entry_pop(src_prefix)
         if entry is None:
-            self._pairs[key] = None
+            self._pairs[key] = (None, False, False)
             return None
         onward = self._onward_leg(entry, dst_prefix, stats)
         if onward is None:
-            self._pairs[key] = None
+            self._pairs[key] = (None, True, False)
             return None
         onward_path, decision = onward
         via_internet = self._internet_leg(src_prefix, dst_prefix, stats)
         if via_internet is None:
-            self._pairs[key] = None
+            self._pairs[key] = (None, True, True)
             return None
         via_vns = self._lastmile_leg(src_prefix, entry).concat(onward_path)
         via_vns.description = f"call-vns:{src_prefix}->{dst_prefix}"
@@ -493,7 +556,7 @@ class CampaignEngine:
             via_vns=via_vns,
             via_internet=via_internet,
         )
-        self._pairs[key] = pair
+        self._pairs[key] = (pair, True, True)
         return pair
 
     # ------------------------------------------------------------------ #
@@ -541,6 +604,196 @@ class CampaignEngine:
         return candidates
 
     # ------------------------------------------------------------------ #
+    # phase 2: the simulation kernels
+    # ------------------------------------------------------------------ #
+
+    def _group_detour_path(
+        self,
+        key: GroupKey,
+        indices: list[int],
+        decisions: list["SteeringDecision"],
+    ) -> DataPath | None:
+        """The detour path to simulate for a group, if any call needs it."""
+        if self.steering is None:
+            return None
+        from repro.steering.policies import PathChoice
+
+        detour_path = self._detour_paths.get((key[0], key[1]))
+        if detour_path is not None and any(
+            decisions[i].choice is PathChoice.POP_DETOUR for i in indices
+        ):
+            return detour_path
+        return None
+
+    def _emit_group(
+        self,
+        indices: list[int],
+        resolved: list[tuple[CallSpec, _ResolvedPair]],
+        decisions: list["SteeringDecision"],
+        results: list["CallResult | None"],
+        vns_streams: list[StreamResult],
+        inet_streams: list[StreamResult],
+        detour_streams: list[StreamResult] | None,
+    ) -> None:
+        """Scatter one group's simulated streams into per-call results."""
+        steering = self.steering
+        if steering is not None:
+            from repro.steering.policies import MEDIA_PACKET_BYTES, PathChoice
+
+        _, pair = resolved[indices[0]]
+        for slot, index in enumerate(indices):
+            spec, _ = resolved[index]
+            decision = None
+            steered = None
+            backbone = 0
+            if steering is not None:
+                decision = decisions[index]
+                if decision.choice is PathChoice.VNS:
+                    steered = vns_streams[slot]
+                elif (
+                    decision.choice is PathChoice.POP_DETOUR
+                    and detour_streams is not None
+                ):
+                    steered = detour_streams[slot]
+                else:
+                    steered = inet_streams[slot]
+                backbone = vns_streams[slot].packets_sent * MEDIA_PACKET_BYTES
+            results[index] = CallResult(
+                spec=spec,
+                entry_pop=pair.entry_pop,
+                egress_pop=pair.egress_pop,
+                via_vns=vns_streams[slot],
+                via_internet=inet_streams[slot],
+                decision=decision,
+                steered=steered,
+                backbone_bytes=backbone,
+            )
+
+    def _simulate_columnar(
+        self,
+        groups: dict[GroupKey, list[int]],
+        resolved: list[tuple[CallSpec, _ResolvedPair]],
+        decisions: list["SteeringDecision"],
+        results: list["CallResult | None"],
+        stats: CampaignStats,
+    ) -> None:
+        """Gather all groups into stream columns, simulate, scatter back.
+
+        Per group: a vns column (salt 0), an internet column (salt 1),
+        and — only for groups where some call's steering decision is a
+        PoP detour — a detour column (salt 2).  Draw keying is per
+        ``(group digest, salt, stream)``, so column order and co-resident
+        groups cannot affect any stream's outcome.
+        """
+        specs: list[StreamColumnSpec] = []
+        plan: list[tuple[list[int], bool]] = []
+        for key, indices in groups.items():
+            _, _, hour_bin, duration_s = key
+            _, pair = resolved[indices[0]]
+            hour = hour_bin + 0.5
+            digest = group_digest(self.config.seed, key)
+            detour_path = self._group_detour_path(key, indices, decisions)
+            n = len(indices)
+            specs.append(
+                StreamColumnSpec(pair.via_vns, n, duration_s, hour, digest, _SALT_VNS)
+            )
+            specs.append(
+                StreamColumnSpec(
+                    pair.via_internet, n, duration_s, hour, digest, _SALT_INTERNET
+                )
+            )
+            if detour_path is not None:
+                specs.append(
+                    StreamColumnSpec(
+                        detour_path, n, duration_s, hour, digest, _SALT_DETOUR
+                    )
+                )
+            plan.append((indices, detour_path is not None))
+            stats.batches += 1
+            stats.largest_batch = max(stats.largest_batch, n)
+        streams = simulate_stream_columns(
+            specs,
+            packets_per_second=self.config.packets_per_second,
+            slot_s=self.config.slot_s,
+        )
+        cursor = 0
+        for indices, has_detour in plan:
+            vns_streams = streams[cursor]
+            inet_streams = streams[cursor + 1]
+            detour_streams = streams[cursor + 2] if has_detour else None
+            cursor += 3 if has_detour else 2
+            self._emit_group(
+                indices,
+                resolved,
+                decisions,
+                results,
+                vns_streams,
+                inet_streams,
+                detour_streams,
+            )
+
+    def _simulate_grouped(
+        self,
+        groups: dict[GroupKey, list[int]],
+        resolved: list[tuple[CallSpec, _ResolvedPair]],
+        decisions: list["SteeringDecision"],
+        results: list["CallResult | None"],
+        stats: CampaignStats,
+    ) -> None:
+        """Legacy kernel: one batched draw per (signature, transport)."""
+        for key, indices in groups.items():
+            _, _, hour_bin, duration_s = key
+            _, pair = resolved[indices[0]]
+            hour = hour_bin + 0.5
+            rng = group_rng(self.config.seed, key)
+            vns_streams = simulate_stream_batch(
+                pair.via_vns,
+                len(indices),
+                duration_s=duration_s,
+                packets_per_second=self.config.packets_per_second,
+                slot_s=self.config.slot_s,
+                hour_cet=hour,
+                rng=rng,
+            )
+            inet_streams = simulate_stream_batch(
+                pair.via_internet,
+                len(indices),
+                duration_s=duration_s,
+                packets_per_second=self.config.packets_per_second,
+                slot_s=self.config.slot_s,
+                hour_cet=hour,
+                rng=rng,
+            )
+            # Detoured streams need a third draw over the detour path.
+            # Drawn strictly AFTER the two baseline batches on the same
+            # group generator, so the vns/internet draws — and hence the
+            # baseline report columns — are bit-equal with and without
+            # steering.
+            detour_streams = None
+            detour_path = self._group_detour_path(key, indices, decisions)
+            if detour_path is not None:
+                detour_streams = simulate_stream_batch(
+                    detour_path,
+                    len(indices),
+                    duration_s=duration_s,
+                    packets_per_second=self.config.packets_per_second,
+                    slot_s=self.config.slot_s,
+                    hour_cet=hour,
+                    rng=rng,
+                )
+            self._emit_group(
+                indices,
+                resolved,
+                decisions,
+                results,
+                vns_streams,
+                inet_streams,
+                detour_streams,
+            )
+            stats.batches += 1
+            stats.largest_batch = max(stats.largest_batch, len(indices))
+
+    # ------------------------------------------------------------------ #
     # the campaign
     # ------------------------------------------------------------------ #
 
@@ -559,11 +812,7 @@ class CampaignEngine:
         started = time.perf_counter()
         steering = self.steering
         if steering is not None:
-            from repro.steering.policies import (
-                MEDIA_PACKET_BYTES,
-                PathChoice,
-                stream_payload_bytes,
-            )
+            from repro.steering.policies import stream_payload_bytes
 
         # Phase 1: resolve paths (and, under steering, decide each call's
         # transport) and group calls by simulation signature.
@@ -607,82 +856,15 @@ class CampaignEngine:
                 groups.setdefault(group_key(spec), []).append(index)
         perf.incr("workload.calls", len(calls))
 
-        # Phase 2: one batched draw per (path signature, transport), each
-        # group on its own signature-keyed generator.
+        # Phase 2: simulate every group's streams.  The columnar kernel
+        # gathers all groups into campaign-wide array passes; the grouped
+        # kernel makes one batched draw per (signature, transport).
         results: list[CallResult | None] = [None] * len(resolved)
         with perf.timer("workload.simulate"):
-            for key, indices in groups.items():
-                _, _, hour_bin, duration_s = key
-                _, pair = resolved[indices[0]]
-                hour = hour_bin + 0.5
-                rng = group_rng(self.config.seed, key)
-                vns_streams = simulate_stream_batch(
-                    pair.via_vns,
-                    len(indices),
-                    duration_s=duration_s,
-                    packets_per_second=self.config.packets_per_second,
-                    slot_s=self.config.slot_s,
-                    hour_cet=hour,
-                    rng=rng,
-                )
-                inet_streams = simulate_stream_batch(
-                    pair.via_internet,
-                    len(indices),
-                    duration_s=duration_s,
-                    packets_per_second=self.config.packets_per_second,
-                    slot_s=self.config.slot_s,
-                    hour_cet=hour,
-                    rng=rng,
-                )
-                # Detoured streams need a third draw over the detour
-                # path.  Drawn strictly AFTER the two baseline batches on
-                # the same group generator, so the vns/internet draws —
-                # and hence the baseline report columns — are bit-equal
-                # with and without steering.
-                detour_streams = None
-                if steering is not None:
-                    detour_path = self._detour_paths.get((key[0], key[1]))
-                    if detour_path is not None and any(
-                        decisions[i].choice is PathChoice.POP_DETOUR for i in indices
-                    ):
-                        detour_streams = simulate_stream_batch(
-                            detour_path,
-                            len(indices),
-                            duration_s=duration_s,
-                            packets_per_second=self.config.packets_per_second,
-                            slot_s=self.config.slot_s,
-                            hour_cet=hour,
-                            rng=rng,
-                        )
-                for slot, index in enumerate(indices):
-                    spec, _ = resolved[index]
-                    decision = None
-                    steered = None
-                    backbone = 0
-                    if steering is not None:
-                        decision = decisions[index]
-                        if decision.choice is PathChoice.VNS:
-                            steered = vns_streams[slot]
-                        elif (
-                            decision.choice is PathChoice.POP_DETOUR
-                            and detour_streams is not None
-                        ):
-                            steered = detour_streams[slot]
-                        else:
-                            steered = inet_streams[slot]
-                        backbone = vns_streams[slot].packets_sent * MEDIA_PACKET_BYTES
-                    results[index] = CallResult(
-                        spec=spec,
-                        entry_pop=pair.entry_pop,
-                        egress_pop=pair.egress_pop,
-                        via_vns=vns_streams[slot],
-                        via_internet=inet_streams[slot],
-                        decision=decision,
-                        steered=steered,
-                        backbone_bytes=backbone,
-                    )
-                stats.batches += 1
-                stats.largest_batch = max(stats.largest_batch, len(indices))
+            if self.config.kernel == "columnar" and columnar.available():
+                self._simulate_columnar(groups, resolved, decisions, results, stats)
+            else:
+                self._simulate_grouped(groups, resolved, decisions, results, stats)
         perf.incr("workload.batches", stats.batches)
 
         # Phase 3: fold into the per-region-pair report.

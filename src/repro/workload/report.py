@@ -82,33 +82,25 @@ class PairAccumulator:
         self.calls += 1
         if result.spec.multiparty:
             self.multiparty += 1
-        for stream, delay, loss, delay_samples, loss_samples in (
-            (
-                result.via_vns,
-                self.vns_delay,
-                self.vns_loss,
-                self.vns_delay_samples,
-                self.vns_loss_samples,
-            ),
-            (
-                result.via_internet,
-                self.inet_delay,
-                self.inet_loss,
-                self.inet_delay_samples,
-                self.inet_loss_samples,
-            ),
-        ):
-            delay.add(stream.rtt_ms)
-            loss.add(stream.loss_percent)
-            delay_samples.append(stream.rtt_ms)
-            loss_samples.append(stream.loss_percent)
-        self.vns_slots += result.via_vns.n_slots
-        self.vns_lossy_slots += _lossy_slots(result.via_vns)
-        self.inet_slots += result.via_internet.n_slots
-        self.inet_lossy_slots += _lossy_slots(result.via_internet)
-        if result.via_vns.rtt_ms <= result.via_internet.rtt_ms:
+        vns, inet = result.via_vns, result.via_internet
+        # loss_percent reduces the slot-loss vector; compute each once.
+        vns_rtt, vns_loss = vns.rtt_ms, vns.loss_percent
+        inet_rtt, inet_loss = inet.rtt_ms, inet.loss_percent
+        self.vns_delay.add(vns_rtt)
+        self.vns_loss.add(vns_loss)
+        self.vns_delay_samples.append(vns_rtt)
+        self.vns_loss_samples.append(vns_loss)
+        self.inet_delay.add(inet_rtt)
+        self.inet_loss.add(inet_loss)
+        self.inet_delay_samples.append(inet_rtt)
+        self.inet_loss_samples.append(inet_loss)
+        self.vns_slots += vns.n_slots
+        self.vns_lossy_slots += _lossy_slots(vns)
+        self.inet_slots += inet.n_slots
+        self.inet_lossy_slots += _lossy_slots(inet)
+        if vns_rtt <= inet_rtt:
             self.vns_delay_wins += 1
-        if result.via_vns.loss_percent <= result.via_internet.loss_percent:
+        if vns_loss <= inet_loss:
             self.vns_loss_wins += 1
         decision = result.decision
         if decision is not None:

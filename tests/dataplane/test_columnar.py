@@ -1,0 +1,339 @@
+"""Columnar stream-simulation kernel: identity, determinism, accounting.
+
+:func:`repro.dataplane.transmit.simulate_stream` is the distribution
+oracle: every columnar stream must be distributed exactly as one scalar
+call over the same path.  On top of that the kernel makes promises the
+scalar path never did — counter-based determinism independent of spec
+order, chunking and co-resident specs — which are asserted bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import columnar
+from repro.dataplane.columnar import (
+    StreamColumnSpec,
+    _binom_quantile,
+    _group_rows,
+    _stream_keys,
+    simulate_stream_columns,
+)
+from repro.dataplane.link import PathSegment, SegmentKind, degrade_segment
+from repro.dataplane.path import DataPath
+from repro.dataplane.transmit import simulate_stream
+from repro.geo.cities import city_by_name
+from repro.net.asn import ASType
+
+pytestmark = pytest.mark.skipif(
+    not columnar.available(), reason="columnar kernel needs scipy"
+)
+
+AMS = city_by_name("Amsterdam").location
+SIN = city_by_name("Singapore").location
+
+#: an arbitrary 128-bit group signature split into two words.
+DIGEST = (0x0123456789ABCDEF, 0xFEDCBA9876543210)
+OTHER_DIGEST = (0x1111111111111111, 0x2222222222222222)
+
+
+def access_only_path() -> DataPath:
+    return DataPath(
+        segments=[
+            PathSegment(kind=SegmentKind.ACCESS, start=AMS, end=AMS, as_type=ASType.EC)
+        ],
+        description="access",
+    )
+
+
+def transit_long_path() -> DataPath:
+    return DataPath(
+        segments=[
+            PathSegment(kind=SegmentKind.TRANSIT, start=AMS, end=SIN, owner_type=ASType.LTP)
+        ],
+        description="transit-long",
+    )
+
+
+def transit_short_path() -> DataPath:
+    return DataPath(
+        segments=[
+            PathSegment(kind=SegmentKind.TRANSIT, start=AMS, end=AMS, owner_type=ASType.STP)
+        ],
+        description="transit-short",
+    )
+
+
+def vns_path() -> DataPath:
+    return DataPath(
+        segments=[PathSegment(kind=SegmentKind.VNS_L2, start=AMS, end=SIN)],
+        description="vns",
+    )
+
+
+def peering_path() -> DataPath:
+    return DataPath(
+        segments=[PathSegment(kind=SegmentKind.PEERING, start=AMS, end=AMS)],
+        description="peering",
+    )
+
+
+def mixed_path() -> DataPath:
+    return DataPath(
+        segments=[
+            PathSegment(kind=SegmentKind.ACCESS, start=AMS, end=AMS, as_type=ASType.EC),
+            PathSegment(kind=SegmentKind.PEERING, start=AMS, end=AMS),
+            PathSegment(kind=SegmentKind.TRANSIT, start=AMS, end=SIN, owner_type=ASType.LTP),
+            PathSegment(kind=SegmentKind.ACCESS, start=SIN, end=SIN, as_type=ASType.CAHP),
+        ],
+        description="mixed",
+    )
+
+
+def degraded_transit_path(extra_loss: float = 0.04) -> DataPath:
+    base = transit_long_path()
+    return DataPath(
+        segments=[degrade_segment(base.segments[0], extra_loss=extra_loss)],
+        description="degraded",
+    )
+
+
+def columnar_batch(path, n, *, duration_s=120.0, hour_cet=20.0, salt=0, **kwargs):
+    spec = StreamColumnSpec(
+        path=path,
+        n_streams=n,
+        duration_s=duration_s,
+        hour_cet=hour_cet,
+        digest=DIGEST,
+        salt=salt,
+    )
+    return simulate_stream_columns([spec], **kwargs)[0]
+
+
+def scalar_batch(path, n, *, duration_s=120.0, hour_cet=20.0, seed=999):
+    rng = np.random.default_rng(seed)
+    return [
+        simulate_stream(path, duration_s=duration_s, hour_cet=hour_cet, rng=rng)
+        for _ in range(n)
+    ]
+
+
+def assert_same_mean(columnar_values, scalar_values) -> None:
+    """Means agree within 4 combined standard errors (both samples finite)."""
+    c = np.asarray(columnar_values, dtype=np.float64)
+    s = np.asarray(scalar_values, dtype=np.float64)
+    stderr = np.sqrt(c.var() / c.size + s.var() / s.size)
+    assert abs(c.mean() - s.mean()) < 4 * max(stderr, 1e-9)
+
+
+def assert_identical(a, b) -> None:
+    """Two per-spec result lists are bitwise identical, stream by stream."""
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.packets_sent == rb.packets_sent
+        assert np.array_equal(ra.slot_losses, rb.slot_losses)
+        assert ra.jitter_p95_ms == rb.jitter_p95_ms
+        assert ra.rtt_ms == rb.rtt_ms
+
+
+class TestDeterminism:
+    def test_repeat_run_bitwise_identical(self):
+        a = columnar_batch(transit_long_path(), 64)
+        b = columnar_batch(transit_long_path(), 64)
+        assert_identical(a, b)
+
+    def test_chunking_does_not_change_results(self):
+        path = transit_long_path()
+        whole = columnar_batch(path, 50)
+        chunked = columnar_batch(path, 50, max_rows_per_pass=7)
+        assert_identical(whole, chunked)
+
+    def test_spec_order_does_not_change_results(self):
+        a = StreamColumnSpec(transit_long_path(), 20, 120.0, 20.0, DIGEST, salt=0)
+        b = StreamColumnSpec(vns_path(), 30, 120.0, 20.0, OTHER_DIGEST, salt=1)
+        ab = simulate_stream_columns([a, b])
+        ba = simulate_stream_columns([b, a])
+        assert_identical(ab[0], ba[1])
+        assert_identical(ab[1], ba[0])
+
+    def test_co_resident_specs_do_not_change_results(self):
+        # The detour contract: a group's baseline transports draw the
+        # same streams whether or not another spec shares the pass.
+        a = StreamColumnSpec(transit_long_path(), 20, 120.0, 20.0, DIGEST, salt=0)
+        b = StreamColumnSpec(mixed_path(), 40, 120.0, 20.0, OTHER_DIGEST, salt=2)
+        alone = simulate_stream_columns([a])[0]
+        together = simulate_stream_columns([a, b])[0]
+        assert_identical(alone, together)
+
+    def test_salt_separates_transports(self):
+        vns_leg = columnar_batch(transit_long_path(), 50, salt=0)
+        inet_leg = columnar_batch(transit_long_path(), 50, salt=1)
+        assert [r.jitter_p95_ms for r in vns_leg] != [r.jitter_p95_ms for r in inet_leg]
+
+    def test_digest_separates_groups(self):
+        a = StreamColumnSpec(transit_long_path(), 50, 120.0, 20.0, DIGEST)
+        b = StreamColumnSpec(transit_long_path(), 50, 120.0, 20.0, OTHER_DIGEST)
+        ra, rb = simulate_stream_columns([a, b])
+        assert [r.jitter_p95_ms for r in ra] != [r.jitter_p95_ms for r in rb]
+
+
+class TestAccounting:
+    def test_slot_accounting(self):
+        results = columnar_batch(transit_long_path(), 8)
+        assert len(results) == 8
+        for r in results:
+            assert r.n_slots == 24
+            assert r.packets_sent == 24 * 2100
+            assert 0 <= r.packets_lost <= r.packets_sent
+            assert r.lossy_slots <= r.n_slots
+
+    def test_partial_final_slot_matches_scalar(self, rng):
+        # 12 s at 420 pps: 3 slots, the last carrying 840 packets.
+        scalar = simulate_stream(transit_long_path(), duration_s=12.0, rng=rng)
+        results = columnar_batch(transit_long_path(), 4, duration_s=12.0)
+        for r in results:
+            assert r.n_slots == scalar.n_slots == 3
+            assert r.packets_sent == scalar.packets_sent == 2 * 2100 + 840
+
+    def test_lossless_peering(self):
+        path = peering_path()
+        for r in columnar_batch(path, 16):
+            assert r.packets_lost == 0
+            assert r.lossy_slots == 0
+            assert r.rtt_ms == path.rtt_ms()
+
+    def test_rtt_matches_path(self):
+        path = mixed_path()
+        for r in columnar_batch(path, 4):
+            assert r.rtt_ms == path.rtt_ms()
+
+    def test_mixed_slot_counts_in_one_call(self):
+        a = StreamColumnSpec(transit_long_path(), 10, 120.0, 20.0, DIGEST, salt=0)
+        b = StreamColumnSpec(transit_long_path(), 10, 60.0, 20.0, DIGEST, salt=1)
+        ra, rb = simulate_stream_columns([a, b])
+        assert all(r.n_slots == 24 for r in ra)
+        assert all(r.n_slots == 12 for r in rb)
+
+
+class TestDistributionIdentity:
+    """Columnar streams vs the scalar oracle, per segment kind."""
+
+    N = 400
+
+    @pytest.mark.parametrize(
+        "make_path",
+        [
+            access_only_path,
+            transit_long_path,
+            transit_short_path,
+            vns_path,
+            mixed_path,
+        ],
+        ids=["access", "transit-long", "transit-short", "vns-l2", "mixed"],
+    )
+    def test_loss_and_jitter_match_oracle(self, make_path):
+        path = make_path()
+        col = columnar_batch(path, self.N)
+        ref = scalar_batch(path, self.N)
+        assert_same_mean(
+            [r.loss_percent for r in col], [r.loss_percent for r in ref]
+        )
+        assert_same_mean(
+            [r.jitter_p95_ms for r in col], [r.jitter_p95_ms for r in ref]
+        )
+        assert_same_mean([r.lossy_slots for r in col], [r.lossy_slots for r in ref])
+
+    def test_degraded_segment_matches_oracle(self):
+        path = degraded_transit_path(extra_loss=0.04)
+        col = columnar_batch(path, self.N)
+        ref = scalar_batch(path, self.N)
+        assert_same_mean(
+            [r.loss_percent for r in col], [r.loss_percent for r in ref]
+        )
+        # The injected impairment dominates: every stream loses packets.
+        assert all(r.packets_lost > 0 for r in col)
+
+    def test_diurnal_parameters_respected(self):
+        # The hour keys the per-segment parameter resolution in both
+        # kernels: identity must hold at peak and off-peak alike, and
+        # changing the hour must actually change the columnar draws'
+        # input rates (same counter keys, different parameters).
+        path = transit_long_path()
+        peak_c = columnar_batch(path, self.N, hour_cet=20.5)
+        off_c = columnar_batch(path, self.N, hour_cet=4.5)
+        assert [r.jitter_p95_ms for r in peak_c] != [r.jitter_p95_ms for r in off_c]
+        assert_same_mean(
+            [r.loss_percent for r in peak_c],
+            [r.loss_percent for r in scalar_batch(path, self.N, hour_cet=20.5)],
+        )
+        assert_same_mean(
+            [r.loss_percent for r in off_c],
+            [r.loss_percent for r in scalar_batch(path, self.N, hour_cet=4.5)],
+        )
+
+
+class TestGuards:
+    def test_empty_specs(self):
+        assert simulate_stream_columns([]) == []
+
+    def test_non_positive_streams(self):
+        spec = StreamColumnSpec(transit_long_path(), 0, 120.0, 20.0, DIGEST)
+        with pytest.raises(ValueError, match="n_streams"):
+            simulate_stream_columns([spec])
+
+    def test_non_positive_duration(self):
+        spec = StreamColumnSpec(transit_long_path(), 4, 0.0, 20.0, DIGEST)
+        with pytest.raises(ValueError, match="duration_s"):
+            simulate_stream_columns([spec])
+
+    def test_non_positive_rate_or_slot(self):
+        spec = StreamColumnSpec(transit_long_path(), 4, 120.0, 20.0, DIGEST)
+        with pytest.raises(ValueError):
+            simulate_stream_columns([spec], packets_per_second=0.0)
+        with pytest.raises(ValueError):
+            simulate_stream_columns([spec], slot_s=0.0)
+
+    def test_sub_packet_rate_rejected(self):
+        spec = StreamColumnSpec(transit_long_path(), 4, 120.0, 20.0, DIGEST)
+        with pytest.raises(ValueError, match="sub-packet-rate"):
+            simulate_stream_columns([spec], packets_per_second=0.05)
+
+    def test_bad_chunk_size(self):
+        spec = StreamColumnSpec(transit_long_path(), 4, 120.0, 20.0, DIGEST)
+        with pytest.raises(ValueError, match="max_rows_per_pass"):
+            simulate_stream_columns([spec], max_rows_per_pass=0)
+
+
+class TestInternals:
+    def test_stream_keys_slice_consistent(self):
+        # Keys depend only on (digest, salt, absolute index) — a spec
+        # split across chunks sees the same keys as one whole pass.
+        whole = _stream_keys(DIGEST, 0, 0, 10)
+        assert np.array_equal(whole[3:7], _stream_keys(DIGEST, 0, 3, 7))
+
+    def test_stream_keys_salted(self):
+        assert not np.array_equal(
+            _stream_keys(DIGEST, 0, 0, 10), _stream_keys(DIGEST, 1, 0, 10)
+        )
+
+    def test_group_rows_matches_concatenated_aranges(self):
+        starts = np.array([0, 5, 5, 100], dtype=np.int64)
+        lens = np.array([3, 1, 4, 2], dtype=np.int64)
+        expected = np.concatenate([np.arange(s, s + n) for s, n in zip(starts, lens)])
+        assert np.array_equal(_group_rows(starts, lens), expected)
+
+    def test_binom_quantile_matches_scipy(self):
+        from scipy.stats import binom
+
+        rng = np.random.default_rng(5)
+        u = rng.random(4000)
+        # Spans all three regimes: fast-zero, stepwise, and scipy ppf.
+        n = rng.integers(1, 6000, size=4000)
+        p = rng.uniform(0.0, 0.2, size=4000)
+        expected = binom.ppf(u, n, p).astype(np.int64)
+        assert np.array_equal(_binom_quantile(u, n, p), expected)
+
+    def test_binom_quantile_zero_loss_fast_path(self):
+        u = np.array([1e-12, 0.5])
+        n = np.array([2100, 2100])
+        p = np.array([0.0, 0.0])
+        assert np.array_equal(_binom_quantile(u, n, p), [0, 0])

@@ -201,3 +201,68 @@ class TestSimulateStreamBatch:
             s = np.array([getattr(r, metric) for r in scalar])
             stderr = np.sqrt(b.var() / n + s.var() / n)
             assert abs(b.mean() - s.mean()) < 4 * max(stderr, 1e-9), metric
+
+
+class TestStreamShapeGuards:
+    def test_shape_accounting(self):
+        from repro.dataplane.transmit import _stream_shape
+
+        assert _stream_shape(120.0, 420.0, 5.0) == (24, 2100, 2100)
+        assert _stream_shape(12.0, 420.0, 5.0) == (3, 2100, 840)
+
+    def test_final_partial_slot_carries_at_least_one_packet(self, rng):
+        from repro.dataplane.transmit import _stream_shape
+
+        # A 0.5 ms tail rounds to zero packets; the guard clamps it to
+        # one so the slot can never report loss-free traffic it never
+        # carried.
+        n_slots, per_slot, final = _stream_shape(10.0005, 420.0, 5.0)
+        assert (n_slots, per_slot, final) == (3, 2100, 1)
+        result = simulate_stream(transit_path(), duration_s=10.0005, rng=rng)
+        assert result.packets_sent == 2 * 2100 + 1
+
+    def test_sub_packet_rate_rejected_everywhere(self, rng):
+        from repro.dataplane.transmit import simulate_stream_batch
+
+        # 0.05 pps over 5 s slots rounds to zero packets per slot.
+        with pytest.raises(ValueError, match="sub-packet-rate"):
+            simulate_stream(transit_path(), packets_per_second=0.05, rng=rng)
+        with pytest.raises(ValueError, match="sub-packet-rate"):
+            simulate_stream_batch(
+                transit_path(), 3, packets_per_second=0.05, rng=rng
+            )
+
+
+class TestProbeExtraLoss:
+    def test_injected_loss_is_not_burst_amplified(self, rng):
+        """An injected DegradedSegment.extra_loss is rate-independent
+        path loss: it stacks additively on the probe's amplified
+        congestion state instead of being multiplied by the burst
+        factor."""
+        from repro.dataplane import calibration as cal
+        from repro.dataplane.link import degrade_segment
+
+        extra = 0.1
+        clean = transit_path()
+        degraded = DataPath(
+            segments=[degrade_segment(clean.segments[0], extra_loss=extra)],
+            description="degraded",
+        )
+        n = 1500
+        clean_loss = np.mean(
+            [
+                simulate_probe_round(clean, packets=100, rng=rng).loss_fraction
+                for _ in range(n)
+            ]
+        )
+        degraded_loss = np.mean(
+            [
+                simulate_probe_round(degraded, packets=100, rng=rng).loss_fraction
+                for _ in range(n)
+            ]
+        )
+        delta = degraded_loss - clean_loss
+        # Additive (within sampling noise and rare clipping)...
+        assert 0.07 < delta < 0.15
+        # ... and nowhere near the old amplified (x8) behaviour.
+        assert delta < 0.5 * cal.PROBE_BURST_FACTOR * extra

@@ -60,6 +60,34 @@ class TestCcdf:
         ccdf = Ccdf.of([0.1, 0.2, 0.3, 0.4])
         assert ccdf.at(0.15) == pytest.approx(0.75)
 
+    def test_series_agrees_with_at_everywhere(self):
+        # One convention: series() is P(X > x), the same strict
+        # inequality at() evaluates — including at every sample point.
+        values = [0.1, 0.2, 0.3, 0.7, 0.9]
+        ccdf = Ccdf.of(values)
+        for x, p in ccdf.series():
+            assert p == pytest.approx(ccdf.at(x))
+
+    def test_ties_agree_at_last_occurrence(self):
+        # Tied samples keep one series row per sample (step plotting);
+        # the full step — the value at() evaluates — sits on the last row
+        # of the tie.
+        ccdf = Ccdf.of([0.1, 0.2, 0.2, 0.3])
+        series = ccdf.series()
+        assert series[2] == (pytest.approx(0.2), pytest.approx(ccdf.at(0.2)))
+
+    def test_max_sample_has_probability_zero(self):
+        # Strict P(X > x): nothing exceeds the largest sample.
+        ccdf = Ccdf.of([1.0, 2.0, 5.0])
+        assert ccdf.series()[-1][1] == pytest.approx(0.0)
+        assert ccdf.at(5.0) == 0.0
+
+    def test_agrees_with_fraction_exceeding(self):
+        values = [0.0, 0.1, 0.15, 0.3, 0.9]
+        ccdf = Ccdf.of(values)
+        for t in (0.0, 0.1, 0.15, 0.2, 1.0):
+            assert ccdf.at(t) == pytest.approx(fraction_exceeding(values, t))
+
 
 class TestFractions:
     def test_fraction_exceeding(self):

@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
+from repro import perf
 from repro.dataplane.transmit import simulate_stream
 from repro.workload.arrivals import CallArrivalProcess, CallSpec
-from repro.workload.engine import CampaignConfig, CampaignEngine
+from repro.workload.engine import CampaignConfig, CampaignEngine, CampaignStats
 from repro.workload.population import UserPopulation
 
 
@@ -149,3 +150,138 @@ class TestBatchedConsistency:
         run = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
         assert run.stats.batches == 2  # {hour 9: 2 calls}, {hour 10: 1 call}
         assert run.stats.largest_batch == 2
+
+
+class TestResolveAccounting:
+    """The pair cache re-counts exactly the legs the original miss consulted."""
+
+    def make_engine(self, small_world):
+        return CampaignEngine(small_world.service, CampaignConfig(seed=8))
+
+    def test_successful_pair_counts_both_legs_once(self, small_world, campaign_inputs):
+        population, _ = campaign_inputs
+        caller, callee = population.users[0], population.users[1]
+        engine = self.make_engine(small_world)
+        first = CampaignStats()
+        pair = engine.resolve_pair(caller.prefix, callee.prefix, first)
+        assert pair is not None
+        assert (first.onward_hits, first.onward_misses) == (0, 1)
+        assert (first.internet_hits, first.internet_misses) == (0, 1)
+        again = CampaignStats()
+        assert engine.resolve_pair(caller.prefix, callee.prefix, again) is pair
+        assert (again.onward_hits, again.onward_misses) == (1, 0)
+        assert (again.internet_hits, again.internet_misses) == (1, 0)
+
+    def test_entry_failure_counts_no_leg_lookups(self, small_world, campaign_inputs):
+        population, _ = campaign_inputs
+        caller, callee = population.users[2], population.users[3]
+        engine = self.make_engine(small_world)
+        # Make the caller unservable: no anycast entry PoP.
+        engine._entry[caller.prefix] = None
+        for _ in range(2):  # miss, then the cached failure
+            stats = CampaignStats()
+            assert engine.resolve_pair(caller.prefix, callee.prefix, stats) is None
+            assert (stats.onward_hits, stats.onward_misses) == (0, 0)
+            assert (stats.internet_hits, stats.internet_misses) == (0, 0)
+
+    def test_onward_failure_never_counts_internet(self, small_world, campaign_inputs):
+        population, _ = campaign_inputs
+        caller, callee = population.users[4], population.users[5]
+        engine = self.make_engine(small_world)
+        entry = engine._entry_pop(caller.prefix)
+        assert entry is not None
+        # Make the onward leg unroutable (cached negative resolution).
+        engine._onward[(entry, callee.prefix)] = None
+        for _ in range(2):  # via the onward cache, then via the pair cache
+            stats = CampaignStats()
+            assert engine.resolve_pair(caller.prefix, callee.prefix, stats) is None
+            assert (stats.onward_hits, stats.onward_misses) == (1, 0)
+            assert (stats.internet_hits, stats.internet_misses) == (0, 0)
+
+    def test_internet_cache_counted_in_campaign(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        run = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
+        stats = run.stats
+        assert stats.internet_misses > 0
+        assert stats.internet_hits > 0
+        # Every resolved call consulted (or re-counted) each leg exactly once.
+        assert stats.internet_hits + stats.internet_misses <= stats.calls_total
+        snapshot = stats.to_snapshot().counters
+        assert snapshot["workload.stats.internet_hits"] == stats.internet_hits
+        assert snapshot["workload.stats.internet_misses"] == stats.internet_misses
+
+    def test_internet_cache_perf_counters(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        perf.reset()
+        perf.enable()
+        try:
+            run = CampaignEngine(small_world.service, CampaignConfig(seed=8)).run(calls)
+            counters = perf.snapshot()["counters"]
+        finally:
+            perf.disable()
+            perf.reset()
+        assert counters["workload.cache.internet_hit"] == run.stats.internet_hits
+        assert counters["workload.cache.internet_miss"] == run.stats.internet_misses
+        assert counters["workload.cache.onward_hit"] == run.stats.onward_hits
+        assert counters["workload.cache.onward_miss"] == run.stats.onward_misses
+
+
+class TestKernels:
+    def test_default_kernel_is_columnar(self):
+        assert CampaignConfig().kernel == "columnar"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            CampaignConfig(kernel="scalar")
+
+    def test_grouped_kernel_deterministic(self, small_world, campaign_inputs):
+        _, calls = campaign_inputs
+        config = CampaignConfig(seed=8, kernel="grouped")
+        run_a = CampaignEngine(small_world.service, config).run(calls)
+        run_b = CampaignEngine(small_world.service, config).run(calls)
+        assert run_a.report.to_json() == run_b.report.to_json()
+
+    def test_kernels_agree_on_everything_but_draws(self, small_world, campaign_inputs):
+        """Same resolution, grouping and packet accounting either way."""
+        _, calls = campaign_inputs
+        col = CampaignEngine(
+            small_world.service, CampaignConfig(seed=8, kernel="columnar")
+        ).run(calls)
+        grp = CampaignEngine(
+            small_world.service, CampaignConfig(seed=8, kernel="grouped")
+        ).run(calls)
+        assert col.stats.calls_resolved == grp.stats.calls_resolved
+        assert col.stats.batches == grp.stats.batches
+        assert col.stats.largest_batch == grp.stats.largest_batch
+        for a, b in zip(col.results, grp.results):
+            assert a.spec.call_id == b.spec.call_id
+            assert a.entry_pop == b.entry_pop
+            assert a.egress_pop == b.egress_pop
+            assert a.via_vns.rtt_ms == b.via_vns.rtt_ms
+            assert a.via_internet.rtt_ms == b.via_internet.rtt_ms
+            assert a.via_vns.packets_sent == b.via_vns.packets_sent
+            assert a.via_vns.n_slots == b.via_vns.n_slots
+
+    def test_kernels_agree_in_distribution(self, small_world, campaign_inputs):
+        """Columnar and grouped draws are distribution-identical."""
+        population, _ = campaign_inputs
+        caller, callee = population.users[0], population.users[1]
+        n = 256
+        calls = [
+            CallSpec(i, caller, callee, 0, 12.25, 120.0, False) for i in range(n)
+        ]
+        runs = {
+            kernel: CampaignEngine(
+                small_world.service, CampaignConfig(seed=8, kernel=kernel)
+            ).run(calls)
+            for kernel in ("columnar", "grouped")
+        }
+        for metric in (
+            lambda r: r.via_vns.loss_percent,
+            lambda r: r.via_internet.loss_percent,
+            lambda r: r.via_vns.jitter_p95_ms,
+        ):
+            col = np.array([metric(r) for r in runs["columnar"].results])
+            grp = np.array([metric(r) for r in runs["grouped"].results])
+            stderr = np.sqrt(col.var() / col.size + grp.var() / grp.size)
+            assert abs(col.mean() - grp.mean()) < 4 * max(stderr, 1e-9)

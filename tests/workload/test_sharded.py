@@ -223,3 +223,29 @@ class TestSpawnPool:
         assert [o.in_process for o in run.shards] == [False, False]
         assert run.report.to_json() == sequential_json
         assert run.simulate_critical_path_s(cpu=True) > 0.0
+
+
+class TestKernelByteIdentity:
+    """Sequential-vs-sharded byte identity holds under either kernel.
+
+    The fixtures above already exercise the default (columnar) kernel;
+    this pins the contract for both explicitly — the columnar kernel's
+    counter-based draws and the grouped kernel's per-group generators
+    each make results independent of the sharding.
+    """
+
+    @pytest.mark.parametrize("kernel", ["columnar", "grouped"])
+    def test_byte_identical_report_per_kernel(
+        self, small_world, campaign_inputs, kernel
+    ):
+        _, calls = campaign_inputs
+        config = CampaignConfig(seed=7, kernel=kernel)
+        sequential = (
+            CampaignEngine(small_world.service, config).run(calls).report.to_json()
+        )
+        sharded = ShardedCampaignRunner(
+            small_world.service,
+            config,
+            ShardPlan(force_inprocess=True, n_shards=3),
+        ).run(calls)
+        assert sharded.report.to_json() == sequential
