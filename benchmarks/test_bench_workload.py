@@ -11,12 +11,16 @@ PRs are judged against recorded numbers:
   cache hit rate, the number that makes population scale affordable;
 * batching — how many vectorised groups the campaign collapsed into;
 * sharding — the same campaign through
-  :class:`~repro.workload.sharded.ShardedCampaignRunner` at several
-  worker counts, with the simulate-phase speedup on the CPU critical
-  path (sequential simulate CPU seconds / the slowest shard's simulate
-  CPU seconds).  CPU seconds, not wall clock: the speedup is then the
-  fan-out's intrinsic scaling, unpolluted by how many physical cores the
-  benchmark host happens to have free.
+  :class:`~repro.workload.sharded.ShardedCampaignRunner` on a persistent
+  :class:`~repro.workload.sharded.CampaignWorkerPool` at several worker
+  counts.  Each worker count is measured twice: a **cold** run that pays
+  pool spawn, frozen-world shipping and cache warmup, and a **warm** run
+  on the already-live pool — the steady state a long campaign sees.
+  Both the simulate-phase CPU critical-path speedup (intrinsic scaling,
+  immune to host core count) and the **elapsed wall-clock speedup** are
+  recorded; the wall-clock floor is host-gated (see
+  ``wallclock_floor``) because a container pinned to one core cannot
+  parallelise anything, only avoid losing.
 
 The MEDIUM campaign must clear 10k calls and be deterministic: the same
 seed reproduces the identical ``CampaignReport.to_json()`` — sequential
@@ -42,9 +46,16 @@ from repro.workload import (
     CallArrivalProcess,
     CampaignConfig,
     CampaignEngine,
+    CampaignWorkerPool,
     ShardedCampaignRunner,
     ShardPlan,
     UserPopulation,
+)
+from repro.workload.sharded import (
+    OVERHEAD_COLUMNS,
+    PHASES,
+    partition_calls,
+    predicted_shard_cost,
 )
 
 BENCH_SEED = 7
@@ -61,15 +72,43 @@ CAMPAIGNS: dict[str, dict] = {
 
 #: Worker counts the sharded runner is benchmarked at.  MEDIUM carries
 #: the headline 1/2/4 sweep; SMALL keeps one 2-worker row so the smoke
-#: run (CI) still exercises a real spawn pool end to end.
+#: run (CI) still exercises a real persistent pool end to end.
 SHARD_WORKERS: dict[str, tuple[int, ...]] = {
     "small": (2,),
     "medium": (1, 2, 4),
 }
 
-#: The acceptance bar for the fan-out: at 2 workers on MEDIUM, the
-#: simulate-phase CPU critical path must shrink at least this much.
+#: The intrinsic-scaling bar: at >=2 workers on MEDIUM, the simulate
+#: CPU critical path must shrink at least this much.
 MIN_SPEEDUP_CPU_AT_2 = 1.5
+
+#: The wall-clock bar at 4 workers on MEDIUM when the host actually has
+#: four cores to run them on.
+MIN_WALLCLOCK_SPEEDUP_AT_4 = 1.4
+
+#: The wall-clock bar everywhere else when the host has a core per
+#: worker: a warm pool must never *lose* more than 25% vs the
+#: sequential engine (speedup >= 1/1.25).  This is also the CI
+#: regression gate at SMALL.
+MIN_WALLCLOCK_NOT_WORSE = 0.8
+
+#: The bar when the pool is oversubscribed (more workers than host
+#: cores): every extra worker is pure context-switch and IPC cost with
+#: no core to run on, so the row only has to stay within 2x sequential.
+MIN_WALLCLOCK_OVERSUBSCRIBED = 0.5
+
+#: Absolute slack on the wall-clock floor.  Sub-second campaigns are
+#: dominated by fixed IPC/scheduling cost and single-run scheduler noise
+#: swings the ratio +-40% on a shared host; a row passes if it clears
+#: the ratio floor *or* loses less than this many absolute seconds.
+WALLCLOCK_ABS_SLACK_S = 0.6
+
+#: Shard balance: max/min predicted shard cost (what the cost-balanced
+#: partitioner controls, asserted always) and max/min per-shard busy CPU
+#: on the warm MEDIUM run (asserted when the host has a core per worker;
+#: on a core-starved host per-shard ``process_time`` attribution carries
+#: GC and contention noise larger than the bound itself).
+MAX_SHARD_CPU_RATIO = 1.3
 
 #: Sequential-throughput floors (cold process, one run).  MEDIUM pins
 #: the columnar-kernel win: >=10x the recorded grouped-kernel baseline
@@ -102,6 +141,28 @@ def enabled_scales() -> tuple[str, ...]:
     return chosen
 
 
+def wallclock_floor(scale: str, workers: int, host_cpus: int) -> float:
+    """The elapsed-speedup floor a (scale, workers) row must clear.
+
+    The 1.4x headline floor needs the cores to exist: a host with fewer
+    CPUs than workers serialises the pool, so the bound degrades to
+    "don't lose wall-clock" (>= 0.8x) at parity and "stay within 2x"
+    when workers outnumber cores outright.
+    """
+    if scale == "medium" and workers >= 4 and host_cpus >= 4:
+        return MIN_WALLCLOCK_SPEEDUP_AT_4
+    if workers > host_cpus:
+        return MIN_WALLCLOCK_OVERSUBSCRIBED
+    return MIN_WALLCLOCK_NOT_WORSE
+
+
+def shard_busy_cpu_s(outcome) -> float:
+    """One shard's busy CPU seconds (engine phases, overheads excluded)."""
+    return sum(
+        outcome.phase_s.get(phase, {}).get("cpu_s", 0.0) for phase in PHASES
+    )
+
+
 def build_campaign(world, sizing: dict):
     population = UserPopulation.sample(
         world.topology, sizing["n_users"], seed=BENCH_SEED
@@ -114,11 +175,28 @@ def build_campaign(world, sizing: dict):
     return arrivals.generate(days=1)
 
 
+def _shard_detail(outcome) -> dict:
+    return {
+        "shard": outcome.index,
+        "calls": outcome.n_calls,
+        "in_process": outcome.in_process,
+        "elapsed_s": round(outcome.elapsed_s, 4),
+        "phase_s": {
+            phase: {
+                "total_s": round(entry["total_s"], 4),
+                "cpu_s": round(entry["cpu_s"], 4),
+            }
+            for phase, entry in outcome.phase_s.items()
+        },
+    }
+
+
 @pytest.mark.parametrize("scale", ALL_SCALES)
 def test_bench_workload(scale: str, show) -> None:
     if scale not in enabled_scales():
         pytest.skip(f"scale {scale!r} excluded by BENCH_WORKLOAD_SCALES")
     sizing = CAMPAIGNS[scale]
+    host_cpus = os.cpu_count() or 1
     start = time.perf_counter()
     world = build_world(scale, seed=BENCH_SEED)
     build_s = time.perf_counter() - start
@@ -140,54 +218,134 @@ def test_bench_workload(scale: str, show) -> None:
     }
     sequential_json = run.report.to_json()
     sequential_simulate_cpu = snap["timers"]["workload.simulate"]["cpu_s"]
+    # Best of two for the wall-clock comparison base: single runs on a
+    # shared host carry +-20% scheduler noise, and the determinism
+    # contract needs a rerun anyway.
+    rerun = CampaignEngine(world.service, CampaignConfig(seed=BENCH_SEED)).run(calls)
+    assert rerun.report.to_json() == sequential_json
+    sequential_elapsed = min(stats.elapsed_s, rerun.stats.elapsed_s)
 
     shard_rows: dict[str, dict] = {}
+    wallclock_rows: dict[str, dict] = {}
     for workers in SHARD_WORKERS[scale]:
-        plan = ShardPlan(n_workers=workers)
-        shard_start = time.perf_counter()
-        sharded = ShardedCampaignRunner(
-            world.service, CampaignConfig(seed=BENCH_SEED), plan
-        ).run(calls)
-        wall_s = time.perf_counter() - shard_start
-        # The contract the whole subsystem hangs on: byte-identical output.
-        assert sharded.report.to_json() == sequential_json, (scale, workers)
-        critical_cpu = sharded.simulate_critical_path_s(cpu=True)
+        # keep_results=False is the population-scale configuration: the
+        # report and stats are complete without shipping every CallResult
+        # back over the pipe.  Byte-identity is asserted regardless.
+        plan = ShardPlan(n_workers=workers, keep_results=False)
+        config = CampaignConfig(seed=BENCH_SEED)
+        pool = (
+            CampaignWorkerPool(world.service, workers=workers)
+            if workers > 1
+            else None
+        )
+        try:
+            runner = ShardedCampaignRunner(world.service, config, plan, pool=pool)
+            cold_start = time.perf_counter()
+            cold = runner.run(calls)
+            cold_wall = time.perf_counter() - cold_start
+            assert cold.report.to_json() == sequential_json, (scale, workers)
+            # Best of two warm runs, mirroring the sequential base.
+            warm, warm_wall = None, float("inf")
+            for _ in range(2):
+                warm_start = time.perf_counter()
+                candidate = ShardedCampaignRunner(
+                    world.service, config, plan, pool=pool
+                ).run(calls)
+                candidate_wall = time.perf_counter() - warm_start
+                assert candidate.report.to_json() == sequential_json, (scale, workers)
+                if candidate_wall < warm_wall:
+                    warm, warm_wall = candidate, candidate_wall
+            pool_record = None
+            if pool is not None:
+                pool_record = {
+                    "workers": pool.stats.workers,
+                    "world_transport": pool.stats.world_transport,
+                    "world_bytes": pool.stats.world_bytes,
+                    "world_dump_s": round(pool.stats.world_dump_s, 4),
+                    "setup_s": round(pool.stats.setup_s, 4),
+                    "warmed_pairs": pool.stats.warmed_pairs,
+                    "runs": pool.stats.runs,
+                }
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+        critical_cpu = warm.simulate_critical_path_s(cpu=True)
         speedup_cpu = sequential_simulate_cpu / critical_cpu if critical_cpu else 0.0
+        speedup_wall = sequential_elapsed / warm_wall if warm_wall else 0.0
+        floor = wallclock_floor(scale, workers, host_cpus)
         shard_rows[str(workers)] = {
             "workers": workers,
-            "elapsed_s": round(wall_s, 4),
+            "cold_elapsed_s": round(cold_wall, 4),
+            "elapsed_s": round(warm_wall, 4),
             "report_byte_identical": True,
             "simulate_critical_path_cpu_s": round(critical_cpu, 4),
             "speedup_cpu": round(speedup_cpu, 2),
-            "per_shard": [
-                {
-                    "shard": outcome.index,
-                    "calls": outcome.n_calls,
-                    "in_process": outcome.in_process,
-                    "elapsed_s": round(outcome.elapsed_s, 4),
-                    "phase_s": {
-                        phase: {
-                            "total_s": round(entry["total_s"], 4),
-                            "cpu_s": round(entry["cpu_s"], 4),
-                        }
-                        for phase, entry in outcome.phase_s.items()
-                    },
-                }
-                for outcome in sharded.shards
-            ],
+            "overhead_s": {
+                column: round(
+                    cold.overhead_s(column) + warm.overhead_s(column), 4
+                )
+                for column in OVERHEAD_COLUMNS
+            },
+            "pool": pool_record,
+            "per_shard": [_shard_detail(outcome) for outcome in warm.shards],
+        }
+        wallclock_rows[str(workers)] = {
+            "workers": workers,
+            "warm_elapsed_s": round(warm_wall, 4),
+            "cold_elapsed_s": round(cold_wall, 4),
+            "speedup_wallclock": round(speedup_wall, 2),
+            "floor": floor,
         }
         show(
-            f"scale={scale} shards@{workers}w: wall {wall_s:.2f}s,"
-            f" simulate critical path {critical_cpu:.2f}s cpu"
-            f" ({speedup_cpu:.2f}x vs sequential {sequential_simulate_cpu:.2f}s)"
+            f"scale={scale} shards@{workers}w: warm wall {warm_wall:.2f}s"
+            f" ({speedup_wall:.2f}x vs sequential {sequential_elapsed:.2f}s,"
+            f" floor {floor}x; cold {cold_wall:.2f}s) | simulate critical"
+            f" path {critical_cpu:.2f}s cpu ({speedup_cpu:.2f}x)"
+        )
+        lost_s = warm_wall - sequential_elapsed
+        assert speedup_wall >= floor or lost_s <= WALLCLOCK_ABS_SLACK_S, (
+            scale,
+            workers,
+            speedup_wall,
+            floor,
+            lost_s,
         )
         if scale == "medium" and workers >= 2:
             assert speedup_cpu >= MIN_SPEEDUP_CPU_AT_2, (workers, speedup_cpu)
+            predicted = [
+                predicted_shard_cost(slice_)
+                for slice_ in partition_calls(calls, len(warm.shards))
+            ]
+            predicted_ratio = max(predicted) / min(predicted)
+            busy = [shard_busy_cpu_s(outcome) for outcome in warm.shards]
+            ratio = max(busy) / min(busy) if min(busy) > 0 else float("inf")
+            shard_rows[str(workers)]["shard_cost_ratio"] = round(predicted_ratio, 3)
+            shard_rows[str(workers)]["shard_cpu_ratio"] = round(ratio, 3)
+            assert predicted_ratio <= MAX_SHARD_CPU_RATIO, (
+                workers,
+                predicted_ratio,
+                predicted,
+            )
+            if host_cpus >= workers:
+                assert ratio <= MAX_SHARD_CPU_RATIO, (workers, ratio, busy)
 
     _results[scale] = {
         "shards": {
             "sequential_simulate_cpu_s": round(sequential_simulate_cpu, 4),
             "by_workers": shard_rows,
+            "wallclock": {
+                "host_cpus": host_cpus,
+                "sequential_elapsed_s": round(sequential_elapsed, 4),
+                "note": (
+                    "warm_elapsed_s is a run on an already-live pool (spawn, "
+                    "world ship and cache warmup amortised); the floor is "
+                    "host-gated — the 1.4x headline requires >= 4 CPUs, "
+                    "core-starved hosts assert the not-worse bound instead, "
+                    "with 0.6s absolute slack for sub-second campaigns"
+                ),
+                "by_workers": wallclock_rows,
+            },
         },
         "world_build_s": round(build_s, 4),
         "campaign": {
@@ -223,9 +381,6 @@ def test_bench_workload(scale: str, show) -> None:
         # The acceptance bar: a population-scale day, cache-dominated.
         assert stats.calls_resolved >= 10_000
         assert stats.onward_hit_rate > 0.5
-        # And reproducible bit for bit under the seed.
-        rerun = CampaignEngine(world.service, CampaignConfig(seed=BENCH_SEED)).run(calls)
-        assert rerun.report.to_json() == run.report.to_json()
 
 
 def test_emit_bench_workload_json(show) -> None:

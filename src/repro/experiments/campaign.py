@@ -47,8 +47,10 @@ def run(
     The population, arrival and engine seeds are derived from ``seed``
     with fixed offsets, so one integer reproduces the whole campaign.
     ``workers > 1`` (or an explicit ``shard_plan``) runs the same calls
-    through the sharded multi-process runner — same seed derivation,
-    byte-identical report.
+    through the sharded multi-process runner on ``world``'s persistent
+    :meth:`~repro.experiments.common.World.campaign_pool` — same seed
+    derivation, byte-identical report, and repeated invocations over one
+    world reuse the already-spawned, already-warm workers.
     """
     population = UserPopulation.sample(world.topology, n_users, seed=seed)
     arrivals = CallArrivalProcess(
@@ -62,7 +64,12 @@ def run(
     if shard_plan is None and workers > 1:
         shard_plan = ShardPlan(n_workers=workers)
     if shard_plan is not None:
-        return ShardedCampaignRunner(world.service, config, shard_plan).run(calls)
+        pool = None
+        if not shard_plan.force_inprocess and shard_plan.effective_workers > 1:
+            pool = world.campaign_pool(workers=shard_plan.effective_workers)
+        return ShardedCampaignRunner(
+            world.service, config, shard_plan, pool=pool
+        ).run(calls)
     return CampaignEngine(world.service, config).run(calls)
 
 

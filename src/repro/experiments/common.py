@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 import importlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -77,6 +77,9 @@ class World:
     service: VideoNetworkService
     before: VideoNetworkService | None = None
     rng: np.random.Generator | None = None
+    #: Lazily created persistent campaign worker pool (see
+    #: :meth:`campaign_pool`); excluded from repr/equality on purpose.
+    _campaign_pool: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def topology(self):
@@ -98,6 +101,39 @@ class World:
                 routing=self.service.routing,
             )
         return self.before
+
+    def campaign_pool(self, *, workers: int | None = None):
+        """This world's persistent campaign worker pool, created lazily.
+
+        The pool ships a frozen snapshot of ``service`` to each worker
+        once and keeps workers (and their warm path caches) alive across
+        every sharded campaign run over this world — the reuse that
+        makes repeated ``run(world, RunConfig.of("campaign", ...))``
+        invocations pay spawn and world-shipping cost only once.
+        Requesting a different worker count replaces the cached pool.
+        """
+        from repro.workload.sharded import CampaignWorkerPool
+
+        pool = self._campaign_pool
+        if (
+            pool is not None
+            and not pool.closed
+            and not pool.broken
+            and (workers is None or pool.workers == workers)
+        ):
+            return pool
+        if pool is not None and not pool.closed:
+            pool.shutdown(wait=True)
+        pool = CampaignWorkerPool(self.service, workers=workers)
+        self._campaign_pool = pool
+        return pool
+
+    def close_pool(self) -> None:
+        """Shut down the cached campaign pool, if one was created."""
+        pool = self._campaign_pool
+        if pool is not None:
+            pool.shutdown(wait=True)
+            self._campaign_pool = None
 
 
 def build_world(

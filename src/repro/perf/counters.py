@@ -166,6 +166,31 @@ class PerfSnapshot:
         """A counters-only snapshot (e.g. engine or geo-RR stats)."""
         return cls(counters={k: int(v) for k, v in counters.items()}, timers={})
 
+    @classmethod
+    def of_timers(
+        cls, timers: Mapping[str, float], *, calls: int = 1, cpu: bool = True
+    ) -> "PerfSnapshot":
+        """A timers-only snapshot from plain ``name -> seconds`` figures.
+
+        The campaign pool uses this to fold externally measured overheads
+        (world shipping, warmup, queue wait) into the merged shard
+        snapshot as regular timer rows.  Each row gets ``calls`` calls;
+        ``cpu=True`` mirrors the wall column into the CPU column (exact
+        for single-threaded regions), ``cpu=False`` books zero CPU —
+        right for waiting time such as queue latency.
+        """
+        return cls(
+            counters={},
+            timers={
+                name: {
+                    "calls": calls,
+                    "total_s": float(seconds),
+                    "cpu_s": float(seconds) if cpu else 0.0,
+                }
+                for name, seconds in timers.items()
+            },
+        )
+
     def merge(self, other: "PerfSnapshot") -> "PerfSnapshot":
         """This snapshot plus ``other`` (counters and timers summed).
 

@@ -16,6 +16,12 @@ from repro.vns.anycast import AnycastResolver
 from repro.vns.network import VnsNetwork
 from repro.vns.builder import VnsConfig, build_vns
 from repro.vns.service import VideoNetworkService
+from repro.vns.frozen import (
+    FrozenNetwork,
+    FrozenWorldError,
+    freeze_service,
+    is_frozen,
+)
 
 __all__ = [
     "PoP",
@@ -35,4 +41,8 @@ __all__ = [
     "VnsConfig",
     "build_vns",
     "VideoNetworkService",
+    "FrozenNetwork",
+    "FrozenWorldError",
+    "freeze_service",
+    "is_frozen",
 ]

@@ -10,6 +10,7 @@ other as non-clients), and a delay-tuned IGP over the L2 circuits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.bgp.attributes import Route
 from repro.bgp.engine import BgpEngine
@@ -30,6 +31,9 @@ from repro.vns.geo_rr import GeoRouteReflector, LocalPrefFunction, linear_lp
 from repro.vns.links import L2Link, build_l2_topology, router_level_igp
 from repro.vns.management import ManagementInterface
 from repro.vns.pop import POPS, PoP, pop_by_code
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (frozen imports us back)
+    from repro.vns.frozen import FrozenNetwork
 
 #: VNS's AS number (a documentation-range value standing in for the real one).
 VNS_ASN = 65000
@@ -445,3 +449,16 @@ class VnsNetwork:
     def total_loc_rib_size(self) -> int:
         """Sum of Loc-RIB sizes over all border routers."""
         return sum(len(r.loc_rib) for r in self.border_routers.values())
+
+    def freeze(self) -> "FrozenNetwork":
+        """A compact, read-only snapshot of the converged forwarding state.
+
+        See :func:`repro.vns.frozen.freeze_network`: best-route tables,
+        per-PoP external winners and the IGP path closure are captured;
+        the BGP control plane (adj-RIBs, message engine, reflectors) is
+        left behind.  The snapshot answers every read this class answers
+        and raises :class:`~repro.vns.frozen.FrozenWorldError` on writes.
+        """
+        from repro.vns.frozen import freeze_network
+
+        return freeze_network(self)

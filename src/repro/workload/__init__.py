@@ -45,6 +45,9 @@ from repro.workload.report import (
     PairAccumulator,
 )
 from repro.workload.sharded import (
+    CampaignWorkerPool,
+    PoolStats,
+    ShardCheckpointStore,
     ShardedCampaignRun,
     ShardedCampaignRunner,
     ShardExecutionError,
@@ -52,8 +55,12 @@ from repro.workload.sharded import (
     ShardPlan,
     ShardTask,
     WorldSpec,
+    campaign_fingerprint,
+    default_workers,
     partition_calls,
+    predicted_shard_cost,
     shard_seed,
+    warmup_manifest,
 )
 
 __all__ = [
@@ -72,7 +79,10 @@ __all__ = [
     "CampaignReport",
     "CampaignRun",
     "CampaignStats",
+    "CampaignWorkerPool",
     "PairAccumulator",
+    "PoolStats",
+    "ShardCheckpointStore",
     "ShardExecutionError",
     "ShardOutcome",
     "ShardPlan",
@@ -83,8 +93,12 @@ __all__ = [
     "UserPopulation",
     "WorldSpec",
     "call_rate_profile",
+    "campaign_fingerprint",
+    "default_workers",
     "group_key",
     "group_rng",
     "partition_calls",
+    "predicted_shard_cost",
     "shard_seed",
+    "warmup_manifest",
 ]

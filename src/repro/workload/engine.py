@@ -435,6 +435,80 @@ class CampaignEngine:
         return self.config.slot_s
 
     # ------------------------------------------------------------------ #
+    # path-cache export / import / warmup
+    # ------------------------------------------------------------------ #
+
+    #: The engine's path-cache layers, by export name (see
+    #: :meth:`export_path_caches`).
+    PATH_CACHE_NAMES = (
+        "entry",
+        "lastmile",
+        "onward",
+        "internet",
+        "pairs",
+        "local_exit",
+        "detour_paths",
+        "candidates",
+    )
+
+    def export_path_caches(self) -> dict[str, dict]:
+        """The live path-cache dicts, by name (references, not copies).
+
+        Cache contents depend only on the service's converged state —
+        never on the campaign config, seed, or steering policy — so a
+        cache set exported from one engine can be adopted by any other
+        engine over the *same* service.  This is how persistent shard
+        workers keep their caches warm across campaigns: each new
+        engine adopts the worker's long-lived cache set by reference.
+        """
+        return {
+            "entry": self._entry,
+            "lastmile": self._lastmile,
+            "onward": self._onward,
+            "internet": self._internet,
+            "pairs": self._pairs,
+            "local_exit": self._local_exit,
+            "detour_paths": self._detour_paths,
+            "candidates": self._candidates,
+        }
+
+    def adopt_path_caches(self, caches: dict[str, dict]) -> None:
+        """Share ``caches`` (from :meth:`export_path_caches`) by reference.
+
+        Entries this engine resolves are visible to every other adopter;
+        report output is unaffected (warm caches change *when* work
+        happens, never what is resolved — see the determinism contract).
+        Missing names keep this engine's own (empty) dict, so cache sets
+        from older exports stay adoptable.
+        """
+        self._entry = caches.get("entry", self._entry)
+        self._lastmile = caches.get("lastmile", self._lastmile)
+        self._onward = caches.get("onward", self._onward)
+        self._internet = caches.get("internet", self._internet)
+        self._pairs = caches.get("pairs", self._pairs)
+        self._local_exit = caches.get("local_exit", self._local_exit)
+        self._detour_paths = caches.get("detour_paths", self._detour_paths)
+        self._candidates = caches.get("candidates", self._candidates)
+
+    def warm_pairs(self, pairs: "Iterable[tuple[Prefix, Prefix]]") -> int:
+        """Pre-resolve prefix pairs into the path caches.
+
+        The shard warmup hook: workers run this once over a campaign's
+        unique pair manifest before the first shard lands, so the
+        per-shard resolve phase is all cache hits.  Counts nothing into
+        any campaign's :class:`CampaignStats` (a scratch instance absorbs
+        the miss accounting) and therefore cannot perturb reports.
+        Returns the number of pairs that resolved to usable paths.
+        """
+        scratch = CampaignStats()
+        resolved = 0
+        with perf.timer("workload.warmup"):
+            for src_prefix, dst_prefix in pairs:
+                if self.resolve_pair(src_prefix, dst_prefix, scratch) is not None:
+                    resolved += 1
+        return resolved
+
+    # ------------------------------------------------------------------ #
     # resolution (cached)
     # ------------------------------------------------------------------ #
 

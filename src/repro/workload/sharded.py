@@ -5,16 +5,21 @@ The paper's evaluation aggregates two weeks of production traffic across
 This module fans a campaign out with the shard-and-reduce shape of a
 data-parallel training loop:
 
-1. **Partition** the call list into per-shard slices
+1. **Partition** the call list into cost-balanced per-shard slices
    (:func:`partition_calls`) that never split a simulation group — all
    calls of one ``(src_prefix, dst_prefix)`` pair land on one shard, so
    per-pair path caches stay warm and batch draws keep their size.
-2. **Execute** each shard in a worker of a spawn-safe
-   ``multiprocessing`` pool.  Workers receive the world either as a
-   pickled :class:`~repro.vns.service.VideoNetworkService` or as a
-   :class:`WorldSpec` recipe they rebuild locally (configurable via
-   :class:`ShardPlan`), then run an ordinary
-   :class:`~repro.workload.engine.CampaignEngine` over their slice.
+   Slices are balanced by *predicted work* — one cache-miss resolve per
+   unique pair plus per-call and per-slot simulate cost — not by call
+   duration alone.
+2. **Execute** shards through a persistent :class:`CampaignWorkerPool`:
+   spawn-safe workers that each receive the world exactly **once** (by
+   default as a compact :mod:`frozen <repro.vns.frozen>` snapshot),
+   pre-warm their path caches from the campaign's
+   :func:`warmup_manifest`, and keep both world and caches alive across
+   shards *and across campaigns*.  Shards **stream**: the planner emits
+   more slices than workers and the runner collects them as they finish,
+   so the resolve and simulate phases of different shards overlap.
 3. **Reduce** by merging the shards'
    :class:`~repro.workload.report.CampaignAggregator`\\ s,
    :class:`~repro.workload.engine.CampaignStats` and
@@ -26,31 +31,49 @@ seed, group signature)`` (:func:`~repro.workload.engine.group_rng`) and
 every float in a report summary is permutation-invariant, so a sharded
 run is *byte-identical* in :meth:`CampaignReport.to_json` to the
 sequential run under the same seed — for any worker count, shard count,
-scheduling order, or retry history.  The per-shard seeds carried by
-:class:`ShardTask` are derived deterministically from the campaign seed
-for shard-local needs (retry backoff jitter today); they deliberately do
-not feed the simulation draws.
+scheduling order, retry history, cache warmth, or resume.  The per-shard
+seeds carried by :class:`ShardTask` are derived deterministically from
+the campaign seed for shard-local needs (retry backoff jitter today);
+they deliberately do not feed the simulation draws.
 
-**Robustness.**  Per-shard wait timeouts, failed-shard retry with a
-re-derived shard seed, and graceful fallback to in-process execution
-when the pool cannot be created (or a shard exhausts its retries and
+**Robustness.**  Progress timeouts, failed-shard retry with a re-derived
+shard seed, and graceful fallback to in-process execution when the pool
+cannot be created (or a shard exhausts its retries and
 ``allow_inprocess_fallback`` is set).  Shard faults can be injected via
 ``ShardPlan.fail_injections`` for chaos-style testing, in the spirit of
-:mod:`repro.faults`.
+:mod:`repro.faults`.  Long campaigns can checkpoint completed shards
+(``ShardPlan.checkpoint_dir``) and resume, skipping finished work while
+reproducing the identical merged report.
+
+**Overhead attribution.**  Each :class:`ShardOutcome` carries, next to
+the engine phases, the fan-out's own costs as separate columns:
+``warmup_s`` (cache pre-warming), ``world_ship_s`` (world
+pickle/unpickle into the worker) and ``queue_wait_s`` (time the shard
+sat in the work queue).  ``BENCH_workload.json`` reports these instead
+of letting them hide inside the simulate phase.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field, replace
 from hashlib import blake2b
 from multiprocessing import get_context
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro import perf
+from repro.net.addressing import Prefix
 from repro.vns.service import VideoNetworkService
 from repro.workload.arrivals import CallSpec
 from repro.workload.engine import (
@@ -66,6 +89,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (steering imports us back)
 
 #: The engine phases whose per-shard timings shards report.
 PHASES = ("resolve", "simulate", "aggregate")
+
+#: Fan-out overhead columns reported next to the engine phases in
+#: :attr:`ShardOutcome.phase_s` (wall-clock only; their ``cpu_s`` is 0).
+OVERHEAD_COLUMNS = ("warmup_s", "world_ship_s", "queue_wait_s")
+
+#: Accepted ``ShardPlan.world_transport`` values.
+WORLD_TRANSPORTS = ("frozen", "pickle", "rebuild")
+
+# Predicted-work model for shard balancing, in slot-equivalents (one
+# unit = simulating one 5 s slot).  Calibrated from BENCH_workload.json
+# on the medium world: a cold resolve_pair miss costs ~0.44 ms, a
+# simulated slot ~6.7 us, and per-call fixed work ~0.03 ms.
+COST_RESOLVE_MISS = 65.0
+COST_PER_CALL = 4.5
+DEFAULT_SLOT_S = 5.0
+
+#: Predicted campaign cost (slot-equivalents, ~6.7 us each) below which
+#: the auto shard count stays at one slice per worker: oversplitting a
+#: small campaign pays more in per-shard fixed overhead (engine set-up,
+#: result pickling) than phase overlap recovers.
+STREAM_MIN_COST = 200_000.0
 
 
 class ShardExecutionError(RuntimeError):
@@ -105,6 +149,11 @@ class WorldSpec:
         ).service
 
 
+def default_workers() -> int:
+    """The default pool size: ``min(4, os.cpu_count())``."""
+    return min(4, os.cpu_count() or 1)
+
+
 @dataclass(frozen=True, slots=True)
 class ShardPlan:
     """How to cut and execute a campaign.
@@ -112,20 +161,30 @@ class ShardPlan:
     Parameters
     ----------
     n_workers:
-        Pool size.  ``1`` (or ``force_inprocess``) runs the shards
-        sequentially in this process — same partition, same reduce, no
-        pool.
+        Pool size.  ``None`` (the default) resolves to
+        :func:`default_workers` — ``min(4, os.cpu_count())``.  ``1`` (or
+        ``force_inprocess``) runs the shards sequentially in this
+        process — same partition, same reduce, no pool.
     n_shards:
-        Number of slices; defaults to ``n_workers``.  More shards than
-        workers gives finer rebalancing after a straggler.
+        Number of slices.  ``None`` defaults to ``2 × workers`` when a
+        pool runs (so shards stream through the queue and phases of
+        different shards overlap) and to the worker count in-process;
+        the runner clamps the auto value back to one slice per worker
+        for campaigns whose predicted cost is under
+        :data:`STREAM_MIN_COST` (oversplitting tiny campaigns costs
+        more than streaming recovers).
     world_transport:
-        ``"pickle"`` ships the built service to each worker;
-        ``"rebuild"`` ships a :class:`WorldSpec` and each worker builds
-        its own copy.
+        ``"frozen"`` (default) ships a compact read-only snapshot of the
+        converged world (:func:`repro.vns.frozen.freeze_service`) — a
+        fraction of the full pickle's bytes and unpickle time;
+        ``"pickle"`` ships the full live service (the fallback when a
+        worker must mutate its world); ``"rebuild"`` ships a
+        :class:`WorldSpec` and each worker builds its own copy.
     shard_timeout_s:
-        Upper bound on each wait for a shard result; ``None`` waits
-        forever.  A timed-out shard counts as a failed attempt (the
-        stuck worker cannot be reclaimed, so prefer generous bounds).
+        Upper bound on each wait for *progress*; ``None`` waits forever.
+        When no shard completes within the window, every pending shard
+        counts a failed attempt (the stuck workers cannot be reclaimed,
+        so prefer generous bounds).
     max_retries:
         Failed-attempt budget per shard *beyond* the first try.
     force_inprocess:
@@ -139,37 +198,59 @@ class ShardPlan:
         Switching this off saves the dominant share of worker→parent
         transfer at population scale; the report and stats are complete
         either way.
+    warm_caches:
+        Pre-warm worker path caches from the campaign's
+        :func:`warmup_manifest` before shards land.  Warmth never
+        changes a report — only when resolution work happens.
+    checkpoint_dir:
+        When set, completed shards are persisted here (atomically, keyed
+        by a campaign fingerprint) and skipped on rerun; the resumed
+        merged report is identical.
     fail_injections:
         ``((shard_index, n_attempts), ...)`` — make the shard's first
         ``n_attempts`` executions raise, exercising the retry path.
     """
 
-    n_workers: int = 2
+    n_workers: int | None = None
     n_shards: int | None = None
-    world_transport: str = "pickle"
+    world_transport: str = "frozen"
     shard_timeout_s: float | None = None
     max_retries: int = 1
     force_inprocess: bool = False
     allow_inprocess_fallback: bool = True
     keep_results: bool = True
+    warm_caches: bool = True
+    checkpoint_dir: str | None = None
     fail_injections: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.n_workers < 1:
+        if self.n_workers is not None and self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers!r}")
         if self.n_shards is not None and self.n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards!r}")
-        if self.world_transport not in ("pickle", "rebuild"):
+        if self.world_transport not in WORLD_TRANSPORTS:
             raise ValueError(
-                f"world_transport must be 'pickle' or 'rebuild', "
+                f"world_transport must be one of {WORLD_TRANSPORTS}, "
                 f"got {self.world_transport!r}"
             )
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
 
     @property
+    def effective_workers(self) -> int:
+        return self.n_workers if self.n_workers is not None else default_workers()
+
+    @property
     def effective_shards(self) -> int:
-        return self.n_shards if self.n_shards is not None else self.n_workers
+        if self.n_shards is not None:
+            return self.n_shards
+        workers = self.effective_workers
+        if self.force_inprocess or workers <= 1:
+            return max(workers, 1)
+        # Streaming default: twice as many slices as workers, so a
+        # finished worker always has another shard to pull and phases of
+        # different shards overlap.
+        return 2 * workers
 
 
 @dataclass(slots=True)
@@ -179,6 +260,8 @@ class ShardTask:
     ``steering`` rides along as plain data (health table, policy,
     prefix-region map); every worker gets its own copy, which is safe
     because decisions are pure per call — no cross-shard state.
+    ``submitted_at`` is stamped (``time.time()``) just before the task
+    enters the pool queue so the worker can report ``queue_wait_s``.
     """
 
     index: int
@@ -189,6 +272,7 @@ class ShardTask:
     fail_attempts: int = 0  #: injected fault: raise on the first N attempts
     keep_results: bool = True
     steering: "SteeringEngine | None" = None
+    submitted_at: float | None = None
 
 
 @dataclass(slots=True)
@@ -203,10 +287,16 @@ class ShardOutcome:
     elapsed_s: float
     #: ``phase -> {"total_s": wall, "cpu_s": cpu}`` from the worker's
     #: perf timers (CPU seconds are what speedup is judged on: they are
-    #: immune to core contention on oversubscribed hosts).
+    #: immune to core contention on oversubscribed hosts).  Beside the
+    #: engine phases this carries the fan-out's own overheads
+    #: (:data:`OVERHEAD_COLUMNS`): ``warmup_s`` / ``world_ship_s``
+    #: appear once per worker (on its first completed shard),
+    #: ``queue_wait_s`` on every pooled shard.
     phase_s: dict[str, dict[str, float]]
     stats: CampaignStats
     failures: list[str] = field(default_factory=list)
+    #: Restored from a checkpoint instead of executed this run.
+    resumed: bool = False
 
 
 @dataclass(slots=True)
@@ -217,6 +307,26 @@ class _ShardResult:
     run: CampaignRun
     perf: perf.PerfSnapshot
     elapsed_s: float
+    #: Fan-out overheads measured worker-side (column -> wall seconds).
+    overhead: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class PoolStats:
+    """Parent-side accounting for one :class:`CampaignWorkerPool`."""
+
+    workers: int
+    world_transport: str
+    #: Bytes of the world payload shipped to each worker.
+    world_bytes: int = 0
+    #: Parent-side seconds spent pickling the world payload.
+    world_dump_s: float = 0.0
+    #: Seconds from :meth:`CampaignWorkerPool.start` entry to executor up.
+    setup_s: float = 0.0
+    #: Unique prefix pairs covered by warmup manifests so far.
+    warmed_pairs: int = 0
+    #: Campaign runs served (incremented by the runner).
+    runs: int = 0
 
 
 @dataclass(slots=True)
@@ -227,11 +337,13 @@ class ShardedCampaignRun(CampaignRun):
     lives in each :class:`ShardOutcome`.  ``perf_snapshot`` merges every
     shard's timers/counters (including the engines'
     ``workload.stats.*`` counts routed through
-    :meth:`CampaignStats.to_snapshot`).
+    :meth:`CampaignStats.to_snapshot`) plus the fan-out's overhead rows
+    (``workload.pool.*``).
     """
 
     shards: list[ShardOutcome] = field(default_factory=list)
     perf_snapshot: perf.PerfSnapshot = field(default_factory=perf.PerfSnapshot)
+    pool_stats: PoolStats | None = None
 
     def simulate_critical_path_s(self, *, cpu: bool = True) -> float:
         """The slowest shard's simulate-phase seconds.
@@ -246,32 +358,59 @@ class ShardedCampaignRun(CampaignRun):
             default=0.0,
         )
 
+    def overhead_s(self, column: str) -> float:
+        """Total wall seconds of one :data:`OVERHEAD_COLUMNS` column."""
+        return sum(
+            outcome.phase_s.get(column, {}).get("total_s", 0.0)
+            for outcome in self.shards
+        )
+
 
 # --------------------------------------------------------------------- #
-# partitioning
+# partitioning and warmup manifests
 # --------------------------------------------------------------------- #
 
 
-def partition_calls(calls: list[CallSpec], n_shards: int) -> list[list[CallSpec]]:
+def predicted_group_cost(
+    n_calls: int, total_duration_s: float, *, slot_s: float = DEFAULT_SLOT_S
+) -> float:
+    """Predicted work of one pair group, in slot-equivalents.
+
+    One cache-miss resolve per unique pair (``COST_RESOLVE_MISS``), a
+    fixed per-call cost (``COST_PER_CALL``), and one unit per simulated
+    slot (``duration / slot_s``).  This — not raw duration — is what
+    :func:`partition_calls` balances; duration-only balancing left the
+    2-worker medium run split 4.13 s / 2.28 s because resolve misses
+    concentrate on whichever shard drew the most *unique* pairs.
+    """
+    return COST_RESOLVE_MISS + COST_PER_CALL * n_calls + total_duration_s / slot_s
+
+
+def partition_calls(
+    calls: list[CallSpec], n_shards: int, *, slot_s: float = DEFAULT_SLOT_S
+) -> list[list[CallSpec]]:
     """Cut ``calls`` into at most ``n_shards`` group-preserving slices.
 
     All calls of one ``(src_prefix, dst_prefix)`` pair stay together —
     a simulation group is a refinement of the pair, so no batch is ever
     split and the sequential draws are reproduced exactly.  Pairs are
-    balanced greedily by total call *duration* (the simulate phase costs
-    one slot draw per 5 s of call, so duration — not call count — is the
-    work proxy; largest first, deterministic tie-break), and each slice
-    preserves the original call order.  Slices are never empty; fewer
-    pairs than shards yields fewer slices.
+    balanced greedily by :func:`predicted_group_cost` (largest first,
+    deterministic tie-break), and each slice preserves the original call
+    order.  Slices are never empty; fewer pairs than shards yields fewer
+    slices.
     """
     if n_shards <= 1 or len(calls) <= 1:
         return [list(calls)] if calls else []
     buckets: dict[tuple[str, str], list[int]] = {}
-    weights: dict[tuple[str, str], float] = {}
+    durations: dict[tuple[str, str], float] = {}
     for position, spec in enumerate(calls):
         key = (str(spec.caller.prefix), str(spec.callee.prefix))
         buckets.setdefault(key, []).append(position)
-        weights[key] = weights.get(key, 0.0) + spec.duration_s
+        durations[key] = durations.get(key, 0.0) + spec.duration_s
+    weights = {
+        key: predicted_group_cost(len(positions), durations[key], slot_s=slot_s)
+        for key, positions in buckets.items()
+    }
     ordered = sorted(buckets.items(), key=lambda item: (-weights[item[0]], item[0]))
     loads = [0.0] * n_shards
     members: list[list[int]] = [[] for _ in range(n_shards)]
@@ -287,6 +426,36 @@ def partition_calls(calls: list[CallSpec], n_shards: int) -> list[list[CallSpec]
     return shards
 
 
+def predicted_shard_cost(
+    calls: list[CallSpec], *, slot_s: float = DEFAULT_SLOT_S
+) -> float:
+    """Predicted work of one shard slice (sum over its pair groups)."""
+    groups: dict[tuple[str, str], list[float]] = {}
+    for spec in calls:
+        key = (str(spec.caller.prefix), str(spec.callee.prefix))
+        groups.setdefault(key, []).append(spec.duration_s)
+    return sum(
+        predicted_group_cost(len(durations), sum(durations), slot_s=slot_s)
+        for durations in groups.values()
+    )
+
+
+def warmup_manifest(calls: list[CallSpec]) -> list[tuple[Prefix, Prefix]]:
+    """The campaign's unique ``(src, dst)`` prefix pairs, sorted.
+
+    This is what workers pre-resolve before the first shard lands: the
+    resolve phase's only super-linear cost is the per-pair cache miss,
+    so covering the manifest up front turns shard resolves into pure
+    cache hits.
+    """
+    seen: dict[tuple[str, str], tuple[Prefix, Prefix]] = {}
+    for spec in calls:
+        key = (str(spec.caller.prefix), str(spec.callee.prefix))
+        if key not in seen:
+            seen[key] = (spec.caller.prefix, spec.callee.prefix)
+    return [seen[key] for key in sorted(seen)]
+
+
 def shard_seed(campaign_seed: int, index: int, attempt: int = 0) -> int:
     """The deterministic per-shard (and per-attempt) seed."""
     text = f"{campaign_seed}|shard|{index}|attempt|{attempt}"
@@ -299,25 +468,76 @@ def shard_seed(campaign_seed: int, index: int, attempt: int = 0) -> int:
 
 #: The worker's world, installed once per process by :func:`_init_worker`.
 _WORKER_SERVICE: VideoNetworkService | None = None
+#: The worker's persistent path caches, shared by reference with every
+#: engine the worker runs — warm across shards *and* campaigns.
+_WORKER_CACHES: dict[str, dict] | None = None
+#: Install-time costs, reported to the parent once (first shard result).
+_WORKER_INIT: dict = {"world_ship_s": 0.0, "warmup_s": 0.0, "reported": True}
 
 
-def _init_worker(payload: tuple[str, object]) -> None:
-    global _WORKER_SERVICE
-    kind, data = payload
-    if kind == "pickle":
-        _WORKER_SERVICE = pickle.loads(data)  # type: ignore[arg-type]
+def _fresh_caches() -> dict[str, dict]:
+    return {name: {} for name in CampaignEngine.PATH_CACHE_NAMES}
+
+
+def _warm_into_caches(
+    service: VideoNetworkService,
+    caches: dict[str, dict],
+    pairs: list[tuple[Prefix, Prefix]],
+) -> int:
+    """Resolve ``pairs`` into ``caches`` (idempotent; report-invisible)."""
+    engine = CampaignEngine(service, CampaignConfig())
+    engine.adopt_path_caches(caches)
+    return engine.warm_pairs(pairs)
+
+
+def _init_worker(payload: tuple[str, object, object]) -> None:
+    """Install the world (and optionally warm caches) once per worker."""
+    global _WORKER_SERVICE, _WORKER_CACHES, _WORKER_INIT
+    kind, data, manifest = payload
+    started = time.perf_counter()
+    if kind in ("pickle", "frozen"):
+        service = pickle.loads(data)  # type: ignore[arg-type]
     else:
         assert isinstance(data, WorldSpec)
-        _WORKER_SERVICE = data.build_service()
+        service = data.build_service()
+    ship_s = time.perf_counter() - started
+    caches = _fresh_caches()
+    warm_s = 0.0
+    if manifest:
+        started = time.perf_counter()
+        _warm_into_caches(service, caches, manifest)  # type: ignore[arg-type]
+        warm_s = time.perf_counter() - started
+    _WORKER_SERVICE = service
+    _WORKER_CACHES = caches
+    _WORKER_INIT = {"world_ship_s": ship_s, "warmup_s": warm_s, "reported": False}
 
 
-def _execute_shard(service: VideoNetworkService, task: ShardTask) -> _ShardResult:
+def _warm_worker(pairs: list[tuple[Prefix, Prefix]]) -> float:
+    """Warm this worker's persistent caches; returns wall seconds spent.
+
+    Best-effort: the pool cannot target a specific worker, so duplicate
+    deliveries land on already-warm caches and cost nearly nothing.
+    """
+    if _WORKER_SERVICE is None or _WORKER_CACHES is None:
+        raise RuntimeError("warm task reached a worker with no installed world")
+    started = time.perf_counter()
+    _warm_into_caches(_WORKER_SERVICE, _WORKER_CACHES, pairs)
+    return time.perf_counter() - started
+
+
+def _execute_shard(
+    service: VideoNetworkService,
+    task: ShardTask,
+    caches: dict[str, dict] | None = None,
+) -> _ShardResult:
     """Run one shard on ``service`` (in a worker or in-process).
 
     Captures the engine's perf timers as a delta against the process's
     registry and leaves the registry exactly as found when perf was off
     (:func:`repro.perf.counters.restore`), so in-process shards do not
     leak timings into a caller that never enabled instrumentation.
+    ``caches`` (from :meth:`CampaignEngine.export_path_caches`) are
+    adopted by reference, keeping them warm for the next shard.
     """
     if task.attempt < task.fail_attempts:
         raise RuntimeError(
@@ -329,6 +549,8 @@ def _execute_shard(service: VideoNetworkService, task: ShardTask) -> _ShardResul
     perf.enable()
     try:
         engine = CampaignEngine(service, task.config, steering=task.steering)
+        if caches is not None:
+            engine.adopt_path_caches(caches)
         run = engine.run(task.calls)
     finally:
         after = perf.snapshot()
@@ -349,7 +571,260 @@ def _execute_shard(service: VideoNetworkService, task: ShardTask) -> _ShardResul
 def _run_shard_worker(task: ShardTask) -> _ShardResult:
     if _WORKER_SERVICE is None:
         raise RuntimeError("shard worker used before _init_worker installed a world")
-    return _execute_shard(_WORKER_SERVICE, task)
+    picked_up = time.time()
+    result = _execute_shard(_WORKER_SERVICE, task, caches=_WORKER_CACHES)
+    overhead: dict[str, float] = {}
+    if task.submitted_at is not None:
+        overhead["queue_wait_s"] = max(0.0, picked_up - task.submitted_at)
+    if not _WORKER_INIT.get("reported", True):
+        _WORKER_INIT["reported"] = True
+        overhead["world_ship_s"] = float(_WORKER_INIT["world_ship_s"])
+        overhead["warmup_s"] = float(_WORKER_INIT["warmup_s"])
+    result.overhead = overhead
+    return result
+
+
+# --------------------------------------------------------------------- #
+# the persistent pool
+# --------------------------------------------------------------------- #
+
+
+class CampaignWorkerPool:
+    """A persistent pool of campaign workers with the world pre-installed.
+
+    Create one, run many campaigns through it (via
+    ``ShardedCampaignRunner(pool=...)`` or
+    :meth:`repro.experiments.common.World.campaign_pool`), and every
+    campaign after the first skips the spawn, the world shipping and —
+    thanks to worker-side persistent path caches — most of the resolve
+    work.  The pool is lazy: workers spawn on :meth:`start` (implicitly
+    on first submit), each installing the world exactly once via
+    :func:`_init_worker`.
+
+    Parameters
+    ----------
+    service:
+        The live world; required for the ``"frozen"`` and ``"pickle"``
+        transports.  ``"frozen"`` (default) ships
+        :meth:`service.freeze() <repro.vns.service.VideoNetworkService.freeze>`
+        — a read-only snapshot a fraction of the full pickle's size.
+    workers:
+        Pool size; ``None`` resolves to :func:`default_workers`.
+    world_transport:
+        One of :data:`WORLD_TRANSPORTS`.
+    world_spec:
+        Recipe for the ``"rebuild"`` transport.
+    """
+
+    def __init__(
+        self,
+        service: VideoNetworkService | None = None,
+        *,
+        workers: int | None = None,
+        world_transport: str = "frozen",
+        world_spec: WorldSpec | None = None,
+    ) -> None:
+        if world_transport not in WORLD_TRANSPORTS:
+            raise ValueError(
+                f"world_transport must be one of {WORLD_TRANSPORTS}, "
+                f"got {world_transport!r}"
+            )
+        if world_transport in ("frozen", "pickle") and service is None:
+            raise ValueError(
+                f"world_transport={world_transport!r} needs a built service"
+            )
+        if world_transport == "rebuild" and world_spec is None:
+            raise ValueError("world_transport='rebuild' needs a world_spec")
+        self._service = service
+        self._world_spec = world_spec
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+        #: Digests of warmup manifests already delivered to the workers;
+        #: a repeat campaign over the same pairs skips the broadcast.
+        self._warm_digests: set[str] = set()
+        self.world_transport = world_transport
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.stats = PoolStats(workers=self.workers, world_transport=world_transport)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        """Whether the underlying executor can no longer run tasks."""
+        return bool(getattr(self._executor, "_broken", False))
+
+    def _payload(
+        self, warm_pairs: list[tuple[Prefix, Prefix]] | None
+    ) -> tuple[str, object, object]:
+        """The per-worker init payload, with dump cost booked to stats."""
+        manifest = list(warm_pairs) if warm_pairs else None
+        if self.world_transport == "rebuild":
+            return ("rebuild", self._world_spec, manifest)
+        assert self._service is not None
+        started = time.perf_counter()
+        world = (
+            self._service.freeze()
+            if self.world_transport == "frozen"
+            else self._service
+        )
+        blob = pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
+        self.stats.world_dump_s += time.perf_counter() - started
+        self.stats.world_bytes = len(blob)
+        return (self.world_transport, blob, manifest)
+
+    def start(
+        self, warm_pairs: list[tuple[Prefix, Prefix]] | None = None
+    ) -> "CampaignWorkerPool":
+        """Create the executor (idempotent); workers spawn on demand.
+
+        ``warm_pairs`` rides in the init payload so each worker warms
+        its caches right after installing the world — no extra IPC.
+        """
+        if self._closed:
+            raise RuntimeError("pool has been shut down")
+        if self._executor is not None:
+            return self
+        started = time.perf_counter()
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=get_context("spawn"),
+            initializer=_init_worker,
+            initargs=(self._payload(warm_pairs),),
+        )
+        self.stats.setup_s += time.perf_counter() - started
+        if warm_pairs:
+            self.stats.warmed_pairs = max(self.stats.warmed_pairs, len(warm_pairs))
+        return self
+
+    def submit_task(self, task: ShardTask) -> Future:
+        """Submit one shard (starting the pool if needed)."""
+        if self._executor is None:
+            self.start()
+        assert self._executor is not None
+        return self._executor.submit(_run_shard_worker, task)
+
+    def warm(self, pairs: list[tuple[Prefix, Prefix]]) -> float:
+        """Best-effort cache warmup across workers; returns wall seconds.
+
+        A fresh pool folds ``pairs`` into the worker init payload (zero
+        extra IPC).  A running pool broadcasts one warm task per worker
+        and waits; workers that draw a duplicate hit warm caches and
+        return almost immediately.  Warmth never affects reports, so
+        failures here are swallowed.
+        """
+        if not pairs:
+            return 0.0
+        digest = blake2b(
+            "|".join(f"{a}>{b}" for a, b in pairs).encode("ascii"), digest_size=8
+        ).hexdigest()
+        if digest in self._warm_digests:
+            return 0.0
+        if self._executor is None:
+            self.start(warm_pairs=pairs)
+            self._warm_digests.add(digest)
+            return 0.0
+        started = time.perf_counter()
+        futures = [
+            self._executor.submit(_warm_worker, list(pairs))
+            for _ in range(self.workers)
+        ]
+        for future in futures:
+            try:
+                future.result()
+            except Exception:  # noqa: BLE001 - warmth is best-effort
+                break
+        self._warm_digests.add(digest)
+        self.stats.warmed_pairs = max(self.stats.warmed_pairs, len(pairs))
+        return time.perf_counter() - started
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; the pool cannot be restarted afterwards."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    def __enter__(self) -> "CampaignWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True)
+
+
+# --------------------------------------------------------------------- #
+# shard checkpoints
+# --------------------------------------------------------------------- #
+
+
+def campaign_fingerprint(
+    config: CampaignConfig,
+    slices: list[list[CallSpec]],
+    *,
+    steering_policy: str | None = None,
+    keep_results: bool = True,
+) -> str:
+    """A digest identifying one exact campaign partition.
+
+    Checkpoint files are keyed by it, so resuming with a different seed,
+    kernel, call set, shard count or steering policy never picks up
+    stale shards.
+    """
+    digest = blake2b(digest_size=8)
+    digest.update(
+        f"{config.seed}|{config.packets_per_second}|{config.slot_s}|"
+        f"{config.kernel}|{steering_policy or '-'}|{int(keep_results)}|"
+        f"{len(slices)}".encode("ascii")
+    )
+    for index, slice_ in enumerate(slices):
+        digest.update(f"|{index}:".encode("ascii"))
+        for spec in slice_:
+            digest.update(f"{spec.call_id},".encode("ascii"))
+    return digest.hexdigest()
+
+
+class ShardCheckpointStore:
+    """Atomic per-shard result persistence for checkpoint/resume.
+
+    One pickle per completed shard, named by the campaign fingerprint
+    and shard index.  Loads are defensive: an unreadable or mismatched
+    file is treated as absent (the shard simply re-executes).
+    """
+
+    def __init__(self, directory: str | os.PathLike, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+
+    def path(self, index: int) -> Path:
+        return self.directory / f"shard-{self.fingerprint}-{index:04d}.pkl"
+
+    def load(self, index: int) -> tuple[_ShardResult, ShardOutcome] | None:
+        path = self.path(index)
+        try:
+            with path.open("rb") as handle:
+                result, outcome = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, TypeError):
+            return None
+        outcome.resumed = True
+        return result, outcome
+
+    def save(self, result: _ShardResult, outcome: ShardOutcome) -> None:
+        path = self.path(result.index)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump((result, outcome), handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
 
 
 # --------------------------------------------------------------------- #
@@ -358,17 +833,19 @@ def _run_shard_worker(task: ShardTask) -> _ShardResult:
 
 
 class ShardedCampaignRunner:
-    """Executes campaigns across a process pool and reduces the shards.
+    """Executes campaigns across a worker pool and reduces the shards.
 
     Parameters
     ----------
     service:
-        The live world.  Required for the ``"pickle"`` transport and
-        used directly by in-process execution.
+        The live world.  Required for the ``"frozen"`` and ``"pickle"``
+        transports and used directly by in-process execution.
     config:
         The campaign's :class:`CampaignConfig` (defaults to seed 0).
     plan:
-        The :class:`ShardPlan`; defaults to two pickled-world workers.
+        The :class:`ShardPlan`; the default ships a frozen world to
+        :func:`default_workers` workers and streams ``2 ×`` that many
+        shards.
     world_spec:
         Recipe for the ``"rebuild"`` transport (and for in-process
         execution when no ``service`` was given).
@@ -376,6 +853,11 @@ class ShardedCampaignRunner:
         Optional :class:`~repro.steering.engine.SteeringEngine`, shipped
         to every shard; the reduced report carries the same steering
         columns, byte-identical to the sequential engine's.
+    pool:
+        A :class:`CampaignWorkerPool` to run on.  Passing one amortises
+        worker spawn, world shipping and cache warmup across every
+        campaign that shares it.  Without one the runner builds an
+        ephemeral pool per run — the old behaviour, now deprecated.
     """
 
     def __init__(
@@ -386,19 +868,28 @@ class ShardedCampaignRunner:
         *,
         world_spec: WorldSpec | None = None,
         steering: "SteeringEngine | None" = None,
+        pool: CampaignWorkerPool | None = None,
     ) -> None:
         self.config = config if config is not None else CampaignConfig()
         self.plan = plan if plan is not None else ShardPlan()
         if service is None and world_spec is None:
             raise ValueError("need a service, a world_spec, or both")
-        if self.plan.world_transport == "pickle" and service is None:
-            raise ValueError("world_transport='pickle' needs a built service")
+        if self.plan.world_transport in ("frozen", "pickle") and service is None:
+            raise ValueError(
+                f"world_transport={self.plan.world_transport!r} needs a built service"
+            )
         if self.plan.world_transport == "rebuild" and world_spec is None:
             raise ValueError("world_transport='rebuild' needs a world_spec")
         self._service = service
         self._world_spec = world_spec
         self._fail_map = dict(self.plan.fail_injections)
         self.steering = steering
+        self.pool = pool
+        #: Persistent caches for in-process shards (and salvage), warm
+        #: across every run of this runner.
+        self._inproc_caches = _fresh_caches()
+        self._checkpoints: ShardCheckpointStore | None = None
+        self._run_overhead: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -406,7 +897,16 @@ class ShardedCampaignRunner:
         """Run ``calls`` sharded; the report is byte-identical to
         ``CampaignEngine(service, config).run(calls).report``."""
         started = time.perf_counter()
-        slices = partition_calls(calls, self.plan.effective_shards)
+        self._run_overhead = {}
+        self._pool_stats: PoolStats | None = None
+        n_shards = self.plan.effective_shards
+        if n_shards > self.plan.effective_workers and self.plan.n_shards is None:
+            # Auto-streaming clamp: oversplit only campaigns big enough
+            # to amortise the per-shard fixed costs.
+            total_cost = predicted_shard_cost(calls, slot_s=self.config.slot_s)
+            if total_cost < STREAM_MIN_COST:
+                n_shards = self.plan.effective_workers
+        slices = partition_calls(calls, n_shards, slot_s=self.config.slot_s)
         tasks = [
             ShardTask(
                 index=index,
@@ -419,10 +919,36 @@ class ShardedCampaignRunner:
             )
             for index, slice_ in enumerate(slices)
         ]
-        if self.plan.force_inprocess or self.plan.n_workers <= 1 or len(tasks) <= 1:
-            executed = [self._run_task_inprocess(task) for task in tasks]
+        self._checkpoints = None
+        executed: list[tuple[_ShardResult, ShardOutcome]] = []
+        if self.plan.checkpoint_dir is not None:
+            fingerprint = campaign_fingerprint(
+                self.config,
+                slices,
+                steering_policy=None if self.steering is None else self.steering.policy.name,
+                keep_results=self.plan.keep_results,
+            )
+            self._checkpoints = ShardCheckpointStore(
+                self.plan.checkpoint_dir, fingerprint
+            )
+            fresh = []
+            for task in tasks:
+                restored = self._checkpoints.load(task.index)
+                if restored is not None:
+                    executed.append(restored)
+                else:
+                    fresh.append(task)
+            tasks = fresh
+        use_pool = not (
+            self.plan.force_inprocess
+            or (self.pool is None and self.plan.effective_workers <= 1)
+            or len(tasks) <= 1
+        )
+        if use_pool:
+            executed.extend(self._run_pool(tasks))
         else:
-            executed = self._run_pool(tasks)
+            for task in tasks:
+                executed.append(self._checkpointed(self._run_task_inprocess(task)))
         return self._reduce(executed, time.perf_counter() - started)
 
     # ------------------------------------------------------------------ #
@@ -435,6 +961,13 @@ class ShardedCampaignRunner:
             self._service = self._world_spec.build_service()
         return self._service
 
+    def _checkpointed(
+        self, pair: tuple[_ShardResult, ShardOutcome]
+    ) -> tuple[_ShardResult, ShardOutcome]:
+        if self._checkpoints is not None:
+            self._checkpoints.save(*pair)
+        return pair
+
     def _run_task_inprocess(
         self, task: ShardTask, failures: list[str] | None = None
     ) -> tuple[_ShardResult, ShardOutcome]:
@@ -443,7 +976,9 @@ class ShardedCampaignRunner:
         attempt = task.attempt
         while True:
             try:
-                result = _execute_shard(self._local_service(), task)
+                result = _execute_shard(
+                    self._local_service(), task, caches=self._inproc_caches
+                )
                 break
             except Exception as exc:  # noqa: BLE001 - retry budget decides
                 failures.append(f"in-process attempt {attempt}: {exc}")
@@ -461,82 +996,156 @@ class ShardedCampaignRunner:
         outcome.failures = failures
         return result, outcome
 
-    def _worker_payload(self) -> tuple[str, object]:
-        if self.plan.world_transport == "pickle":
-            return ("pickle", pickle.dumps(self._service, protocol=pickle.HIGHEST_PROTOCOL))
-        return ("spec", self._world_spec)
-
-    def _run_pool(self, tasks: list[ShardTask]) -> list[tuple[_ShardResult, ShardOutcome]]:
-        try:
-            executor = ProcessPoolExecutor(
-                max_workers=min(self.plan.n_workers, len(tasks)),
-                mp_context=get_context("spawn"),
-                initializer=_init_worker,
-                initargs=(self._worker_payload(),),
+    def _run_pool(
+        self, tasks: list[ShardTask]
+    ) -> list[tuple[_ShardResult, ShardOutcome]]:
+        pool = self.pool
+        ephemeral = pool is None
+        if pool is None:
+            warnings.warn(
+                "spawning a worker pool per run is deprecated; build a "
+                "CampaignWorkerPool once and pass it to "
+                "ShardedCampaignRunner(pool=...) (or use "
+                "World.campaign_pool()) so spawn, world shipping and "
+                "cache warmup amortise across campaigns",
+                DeprecationWarning,
+                stacklevel=3,
             )
-        except Exception as exc:  # noqa: BLE001 - pool genuinely unavailable
-            if not self.plan.allow_inprocess_fallback:
-                raise ShardExecutionError(-1, [f"pool unavailable: {exc}"]) from exc
-            return [self._run_task_inprocess(task) for task in tasks]
-
-        executed: list[tuple[_ShardResult, ShardOutcome]] = []
-        pool_broken = False
-        with executor:
-            pending: dict[int, tuple[Future, ShardTask, int, list[str]]] = {}
-            for task in tasks:
-                pending[task.index] = (
-                    executor.submit(_run_shard_worker, task),
-                    task,
-                    1,
-                    [],
+            try:
+                pool = CampaignWorkerPool(
+                    self._service,
+                    workers=min(self.plan.effective_workers, len(tasks)),
+                    world_transport=self.plan.world_transport,
+                    world_spec=self._world_spec,
                 )
-            remaining = list(pending)
-            for index in remaining:
-                while True:
-                    future, task, attempts, failures = pending[index]
-                    try:
-                        result = future.result(timeout=self.plan.shard_timeout_s)
-                        executed.append(
+            except Exception as exc:  # noqa: BLE001 - pool genuinely unavailable
+                return self._pool_unavailable(tasks, exc)
+        try:
+            manifest = (
+                warmup_manifest([spec for task in tasks for spec in task.calls])
+                if self.plan.warm_caches
+                else None
+            )
+            freshly_started = not pool.started
+            try:
+                if manifest:
+                    warm_wall = pool.warm(manifest)
+                    if warm_wall > 0.0:
+                        self._run_overhead["workload.pool.rewarm"] = warm_wall
+                else:
+                    pool.start()
+            except Exception as exc:  # noqa: BLE001 - pool genuinely unavailable
+                return self._pool_unavailable(tasks, exc)
+            pool.stats.runs += 1
+            if freshly_started:
+                self._run_overhead["workload.pool.setup"] = pool.stats.setup_s
+                self._run_overhead["workload.pool.world_dump"] = pool.stats.world_dump_s
+            self._pool_stats = pool.stats
+            return self._stream(pool, tasks)
+        finally:
+            if ephemeral:
+                pool.shutdown(wait=True)
+
+    def _pool_unavailable(
+        self, tasks: list[ShardTask], exc: Exception
+    ) -> list[tuple[_ShardResult, ShardOutcome]]:
+        if not self.plan.allow_inprocess_fallback:
+            raise ShardExecutionError(-1, [f"pool unavailable: {exc}"]) from exc
+        return [
+            self._checkpointed(self._run_task_inprocess(task)) for task in tasks
+        ]
+
+    def _stream(
+        self, pool: CampaignWorkerPool, tasks: list[ShardTask]
+    ) -> list[tuple[_ShardResult, ShardOutcome]]:
+        """Collect shards as they finish; retry, salvage, checkpoint.
+
+        Shards stream: with more shards than workers, a worker that
+        finishes its slice immediately pulls the next one off the queue,
+        so the resolve phase of one shard overlaps the simulate phase of
+        another.  The wait loop preserves the retry/timeout/salvage
+        semantics of the sequential collector it replaced.
+        """
+        executed: list[tuple[_ShardResult, ShardOutcome]] = []
+        state: dict[Future, tuple[ShardTask, int, list[str]]] = {}
+        pool_broken = False
+
+        def submit(task: ShardTask, attempts: int, failures: list[str]) -> bool:
+            task.submitted_at = time.time()
+            try:
+                future = pool.submit_task(task)
+            except (BrokenExecutor, RuntimeError) as exc:
+                failures.append(f"attempt {task.attempt}: submit failed: {exc}")
+                return False
+            state[future] = (task, attempts, failures)
+            return True
+
+        def retry_of(task: ShardTask) -> ShardTask:
+            return replace(
+                task,
+                attempt=task.attempt + 1,
+                shard_seed=shard_seed(self.config.seed, task.index, task.attempt + 1),
+            )
+
+        for task in tasks:
+            if not submit(task, 1, failures := []):
+                pool_broken = True
+                executed.append(self._salvage_task(task, 1, failures))
+        while state and not pool_broken:
+            done, _ = wait(
+                set(state), timeout=self.plan.shard_timeout_s,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # No progress inside the window: every pending shard has
+                # now waited >= shard_timeout_s — each burns an attempt.
+                for future in list(state):
+                    task, attempts, failures = state.pop(future)
+                    failures.append(
+                        f"attempt {task.attempt}: timed out after "
+                        f"{self.plan.shard_timeout_s}s"
+                    )
+                    future.cancel()
+                    if attempts > self.plan.max_retries:
+                        executed.append(self._salvage_task(task, attempts, failures))
+                    else:
+                        retry = retry_of(task)
+                        if not submit(retry, attempts + 1, failures):
+                            pool_broken = True
+                            executed.append(
+                                self._salvage_task(retry, attempts + 1, failures)
+                            )
+                continue
+            for future in done:
+                task, attempts, failures = state.pop(future)
+                try:
+                    result = future.result()
+                except BrokenExecutor as exc:
+                    failures.append(f"attempt {task.attempt}: pool broke: {exc}")
+                    pool_broken = True
+                    executed.append(self._salvage_task(task, attempts, failures))
+                except Exception as exc:  # noqa: BLE001 - retry budget decides
+                    failures.append(f"attempt {task.attempt}: {exc}")
+                    if attempts > self.plan.max_retries:
+                        executed.append(self._salvage_task(task, attempts, failures))
+                    else:
+                        retry = retry_of(task)
+                        if not submit(retry, attempts + 1, failures):
+                            pool_broken = True
+                            executed.append(
+                                self._salvage_task(retry, attempts + 1, failures)
+                            )
+                else:
+                    executed.append(
+                        self._checkpointed(
                             self._finish_pool_task(result, task, attempts, failures)
                         )
-                        break
-                    except FutureTimeoutError:
-                        failures.append(
-                            f"attempt {task.attempt}: timed out after "
-                            f"{self.plan.shard_timeout_s}s"
-                        )
-                        future.cancel()
-                    except BrokenExecutor as exc:
-                        failures.append(f"attempt {task.attempt}: pool broke: {exc}")
-                        pool_broken = True
-                    except Exception as exc:  # noqa: BLE001 - retry budget decides
-                        failures.append(f"attempt {task.attempt}: {exc}")
-                    if pool_broken or attempts > self.plan.max_retries:
-                        executed.append(self._salvage_task(task, attempts, failures))
-                        break
-                    retry = replace(
-                        task,
-                        attempt=task.attempt + 1,
-                        shard_seed=shard_seed(
-                            self.config.seed, task.index, task.attempt + 1
-                        ),
                     )
-                    pending[index] = (
-                        executor.submit(_run_shard_worker, retry),
-                        retry,
-                        attempts + 1,
-                        failures,
-                    )
-                if pool_broken:
-                    break
-            if pool_broken:
-                # Salvage everything not yet reduced on this side of the pool.
-                done = {outcome.index for _, outcome in executed}
-                for index in remaining:
-                    if index in done:
-                        continue
-                    _, task, attempts, failures = pending[index]
-                    executed.append(self._salvage_task(task, attempts, failures))
+        if pool_broken and state:
+            # Salvage everything still in flight on this side of the pool.
+            for future in list(state):
+                task, attempts, failures = state.pop(future)
+                executed.append(self._salvage_task(task, attempts, failures))
         return executed
 
     def _finish_pool_task(
@@ -561,7 +1170,7 @@ class ShardedCampaignRunner:
         )
         result, outcome = self._run_task_inprocess(salvage, failures)
         outcome.attempts += attempts
-        return result, outcome
+        return self._checkpointed((result, outcome))
 
     # ------------------------------------------------------------------ #
     # reduce
@@ -578,6 +1187,10 @@ class ShardedCampaignRunner:
                     "total_s": entry["total_s"],
                     "cpu_s": entry["cpu_s"],
                 }
+        for column in OVERHEAD_COLUMNS:
+            seconds = result.overhead.get(column)
+            if seconds is not None:
+                phase_s[column] = {"total_s": seconds, "cpu_s": 0.0}
         return ShardOutcome(
             index=result.index,
             n_calls=len(task.calls),
@@ -606,6 +1219,22 @@ class ShardedCampaignRunner:
             outcomes.append(outcome)
         stats.elapsed_s = wall_s
         results.sort(key=lambda call_result: call_result.spec.call_id)
+        overhead_rows = dict(self._run_overhead)
+        for column, row in (
+            ("warmup_s", "workload.pool.warmup"),
+            ("world_ship_s", "workload.pool.world_ship"),
+            ("queue_wait_s", "workload.pool.queue_wait"),
+        ):
+            total = sum(
+                outcome.phase_s.get(column, {}).get("total_s", 0.0)
+                for outcome in outcomes
+            )
+            if total > 0.0:
+                overhead_rows[row] = total
+        if overhead_rows:
+            merged_perf = merged_perf.merge(
+                perf.PerfSnapshot.of_timers(overhead_rows, cpu=False)
+            )
         report = aggregator.report(
             seed=self.config.seed,
             n_failed=stats.calls_failed,
@@ -619,4 +1248,5 @@ class ShardedCampaignRunner:
             aggregator=aggregator,
             shards=outcomes,
             perf_snapshot=merged_perf,
+            pool_stats=getattr(self, "_pool_stats", None),
         )

@@ -1,0 +1,111 @@
+"""Tests for frozen world snapshots (:mod:`repro.vns.frozen`).
+
+The contract: a frozen service is a drop-in read replica — every path
+builder and the campaign engine produce bit-identical output on it —
+while being a fraction of the full service's pickle and refusing any
+mutation.
+"""
+
+import pickle
+
+import pytest
+
+from repro.vns import FrozenNetwork, FrozenWorldError, freeze_service, is_frozen
+from repro.vns.pop import POPS
+from repro.workload import (
+    CallArrivalProcess,
+    CampaignConfig,
+    CampaignEngine,
+    UserPopulation,
+)
+
+
+@pytest.fixture(scope="module")
+def frozen(small_world):
+    return freeze_service(small_world.service)
+
+
+class TestFreeze:
+    def test_is_frozen_and_idempotent(self, small_world, frozen):
+        assert not is_frozen(small_world.service)
+        assert is_frozen(frozen)
+        assert freeze_service(frozen) is frozen
+        assert isinstance(frozen.deployment.network, FrozenNetwork)
+
+    def test_shares_topology_routing_geoip(self, small_world, frozen):
+        assert frozen.topology is small_world.service.topology
+        assert frozen.routing is small_world.service.routing
+        assert frozen.geoip is small_world.service.geoip
+
+    def test_pickle_is_smaller_and_round_trips(self, small_world, frozen):
+        full = pickle.dumps(small_world.service, protocol=pickle.HIGHEST_PROTOCOL)
+        compact = pickle.dumps(frozen, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(compact) < len(full) / 2
+        clone = pickle.loads(compact)
+        assert is_frozen(clone)
+
+
+class TestReadEquivalence:
+    def test_egress_decisions_match_everywhere(self, small_world, frozen):
+        live = small_world.service.deployment.network
+        cold = frozen.deployment.network
+        prefixes = [
+            prefix
+            for asys in small_world.topology.ases.values()
+            for prefix in asys.prefixes
+        ][:120]
+        for pop in POPS:
+            for prefix in prefixes:
+                assert cold.egress_decision(pop.code, prefix) == live.egress_decision(
+                    pop.code, prefix
+                )
+
+    def test_pop_paths_and_external_routes_match(self, small_world, frozen):
+        live = small_world.service.deployment.network
+        cold = frozen.deployment.network
+        for src in POPS:
+            for dst in POPS:
+                if src.code == dst.code:
+                    continue  # both sides raise ValueError for self-paths
+                assert cold.pop_l2_path(src.code, dst.code) == live.pop_l2_path(
+                    src.code, dst.code
+                )
+        prefixes = [
+            prefix
+            for asys in small_world.topology.ases.values()
+            for prefix in asys.prefixes
+        ][:60]
+        for pop in POPS:
+            for prefix in prefixes:
+                assert cold.local_external_route(
+                    pop.code, prefix
+                ) == live.local_external_route(pop.code, prefix)
+
+    def test_campaign_report_byte_identical(self, small_world, frozen):
+        population = UserPopulation.sample(small_world.topology, 40, seed=3)
+        calls = CallArrivalProcess(
+            population, calls_per_user_day=2.0, seed=4
+        ).generate(days=1)
+        config = CampaignConfig(seed=5)
+        live_json = (
+            CampaignEngine(small_world.service, config).run(calls).report.to_json()
+        )
+        frozen_json = CampaignEngine(frozen, config).run(calls).report.to_json()
+        assert frozen_json == live_json
+
+
+class TestReadOnly:
+    def test_mutations_raise(self, frozen):
+        network = frozen.deployment.network
+        with pytest.raises(FrozenWorldError, match="link state"):
+            network.set_link_state("LHR", "FRA", False)
+        with pytest.raises(FrozenWorldError, match="PoP state"):
+            network.set_pop_state("LHR", False)
+        with pytest.raises(FrozenWorldError, match="convergence"):
+            network.converge()
+
+    def test_health_reads_still_work(self, frozen):
+        network = frozen.deployment.network
+        assert network.pop_is_up("LHR")
+        assert network.link_is_up("LHR", "FRA")
+        assert network.total_loc_rib_size() > 0

@@ -209,20 +209,178 @@ class TestPickledWorldRoundTrip:
 
 @pytest.mark.slow
 class TestSpawnPool:
-    """One real 2-worker spawn pool run (the CI smoke's tier-1 twin)."""
+    """One real 2-worker spawn pool run (the CI smoke's tier-1 twin).
+
+    Exercises the deprecated per-run pool path: no explicit
+    :class:`CampaignWorkerPool`, so the runner builds (and warns about)
+    an ephemeral one.  Shards stream — the default plan cuts
+    ``2 × workers`` slices.
+    """
 
     def test_pool_run_byte_identical(
         self, small_world, campaign_inputs, sequential_json
     ):
         _, calls = campaign_inputs
-        run = ShardedCampaignRunner(
+        # n_shards pinned to 4: the auto 2x-workers streaming default
+        # clamps back to one slice per worker for a campaign this small.
+        runner = ShardedCampaignRunner(
             small_world.service,
             CampaignConfig(seed=7),
-            ShardPlan(n_workers=2),
-        ).run(calls)
-        assert [o.in_process for o in run.shards] == [False, False]
+            ShardPlan(n_workers=2, n_shards=4),
+        )
+        with pytest.warns(DeprecationWarning, match="per run is deprecated"):
+            run = runner.run(calls)
+        assert len(run.shards) == 4  # streaming: more shards than workers
+        assert all(not outcome.in_process for outcome in run.shards)
         assert run.report.to_json() == sequential_json
         assert run.simulate_critical_path_s(cpu=True) > 0.0
+        # Fan-out overheads are attributed, not hidden: every pooled
+        # shard reports its queue wait, each worker its world ship and
+        # warmup once.
+        assert all("queue_wait_s" in o.phase_s for o in run.shards)
+        shipped = [o for o in run.shards if "world_ship_s" in o.phase_s]
+        assert 1 <= len(shipped) <= 2
+        assert all("warmup_s" in o.phase_s for o in shipped)
+        assert run.overhead_s("world_ship_s") > 0.0
+        assert "workload.pool.queue_wait" in run.perf_snapshot.timers
+        assert run.pool_stats is not None
+        assert run.pool_stats.world_transport == "frozen"
+        assert run.pool_stats.world_bytes > 0
+
+
+@pytest.mark.slow
+class TestPersistentPool:
+    """Pool lifecycle: reuse, chaos salvage, clean shutdown."""
+
+    def test_reuse_across_runs_and_salvage(
+        self, small_world, campaign_inputs, sequential_json
+    ):
+        from repro.workload import CampaignWorkerPool
+
+        _, calls = campaign_inputs
+        with CampaignWorkerPool(small_world.service, workers=2) as pool:
+            plan = ShardPlan(n_workers=2)
+            first = ShardedCampaignRunner(
+                small_world.service, CampaignConfig(seed=7), plan, pool=pool
+            ).run(calls)
+            assert first.report.to_json() == sequential_json
+            dumped_once = pool.stats.world_dump_s
+            # Second campaign through the same (already-warm) pool: no
+            # respawn, no second world dump, byte-identical again.  Each
+            # worker reports its (one-time) ship cost at most once across
+            # all runs it serves.
+            second = ShardedCampaignRunner(
+                small_world.service, CampaignConfig(seed=7), plan, pool=pool
+            ).run(calls)
+            assert second.report.to_json() == sequential_json
+            assert pool.stats.world_dump_s == dumped_once
+            ship_reports = sum(
+                1
+                for run in (first, second)
+                for outcome in run.shards
+                if "world_ship_s" in outcome.phase_s
+            )
+            assert ship_reports <= 2
+            assert pool.stats.runs == 2
+            # Chaos: injected faults exhaust the pool's retry budget and
+            # the shard still salvages in-process, report intact.
+            chaos = ShardedCampaignRunner(
+                small_world.service,
+                CampaignConfig(seed=7),
+                ShardPlan(n_workers=2, fail_injections=((0, 2),), max_retries=1),
+                pool=pool,
+            ).run(calls)
+            shard0 = next(o for o in chaos.shards if o.index == 0)
+            assert shard0.in_process
+            assert shard0.attempts >= 2
+            assert any("injected shard fault" in f for f in shard0.failures)
+            assert chaos.report.to_json() == sequential_json
+        assert pool.closed
+
+    def test_context_manager_shuts_down_on_exception(self, small_world):
+        from repro.workload import CampaignWorkerPool
+
+        pool = CampaignWorkerPool(small_world.service, workers=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            with pool:
+                raise RuntimeError("boom")
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.start()
+
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_and_reproduces_report(
+        self, small_world, campaign_inputs, sequential_json, tmp_path
+    ):
+        _, calls = campaign_inputs
+        plan = ShardPlan(
+            force_inprocess=True, n_shards=3, checkpoint_dir=str(tmp_path)
+        )
+
+        def run_once():
+            return ShardedCampaignRunner(
+                small_world.service, CampaignConfig(seed=7), plan
+            ).run(calls)
+
+        first = run_once()
+        assert first.report.to_json() == sequential_json
+        assert not any(outcome.resumed for outcome in first.shards)
+        saved = sorted(tmp_path.glob("shard-*.pkl"))
+        assert len(saved) == 3
+        # Rerun: every shard restores from its checkpoint.
+        resumed = run_once()
+        assert all(outcome.resumed for outcome in resumed.shards)
+        assert resumed.report.to_json() == sequential_json
+        # Partial resume: drop one shard's file, only it re-executes.
+        saved[1].unlink()
+        partial = run_once()
+        assert sum(not outcome.resumed for outcome in partial.shards) == 1
+        assert partial.report.to_json() == sequential_json
+
+    def test_different_campaign_ignores_checkpoints(
+        self, small_world, campaign_inputs, tmp_path
+    ):
+        _, calls = campaign_inputs
+        plan = ShardPlan(
+            force_inprocess=True, n_shards=2, checkpoint_dir=str(tmp_path)
+        )
+        ShardedCampaignRunner(
+            small_world.service, CampaignConfig(seed=7), plan
+        ).run(calls)
+        other = ShardedCampaignRunner(
+            small_world.service, CampaignConfig(seed=8), plan
+        ).run(calls)
+        assert not any(outcome.resumed for outcome in other.shards)
+
+
+class TestCostBalance:
+    def test_predicted_costs_are_balanced(self, campaign_inputs):
+        from repro.workload import predicted_shard_cost
+
+        _, calls = campaign_inputs
+        for n_shards in (2, 4):
+            shards = partition_calls(calls, n_shards)
+            costs = [predicted_shard_cost(shard) for shard in shards]
+            assert min(costs) > 0.0
+            assert max(costs) / min(costs) <= 1.3
+
+
+class TestWarmupManifest:
+    def test_manifest_is_unique_sorted_and_warmable(
+        self, small_world, campaign_inputs, sequential_json
+    ):
+        from repro.workload import warmup_manifest
+
+        _, calls = campaign_inputs
+        manifest = warmup_manifest(calls)
+        keys = [(str(a), str(b)) for a, b in manifest]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+        # Warming an engine changes nothing about its report.
+        engine = CampaignEngine(small_world.service, CampaignConfig(seed=7))
+        assert engine.warm_pairs(manifest) > 0
+        assert engine.run(calls).report.to_json() == sequential_json
 
 
 class TestKernelByteIdentity:
