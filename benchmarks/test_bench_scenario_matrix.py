@@ -1,0 +1,91 @@
+"""Scenario-matrix benchmark: the canned-regime regression gate.
+
+Runs the scenario matrix — canned operating regimes x campaign seeds —
+sharded over a persistent 2-worker :class:`CampaignWorkerPool`, and
+holds the results to two bars:
+
+* **Golden regression** — every cell's ``CampaignReport`` must match
+  its committed golden under ``benchmarks/goldens/scenario_matrix/``
+  (floats within 5%, counts and strings exact).  Regenerate after an
+  intentional behaviour change with ``GOLDEN_REGEN=1``.
+* **Determinism** — a sequential in-process re-run of the same grid
+  must reproduce every sharded cell byte for byte.
+
+The run summary (per-cell calls/golden verdicts/timing) is written to
+``BENCH_scenario_matrix.json`` at the repo root — the CI artifact.
+
+The grid can be restricted for smoke runs with
+``BENCH_SCENARIO_GRID=NxM`` (N scenarios, M seeds), e.g. ``2x2`` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.scenarios import GoldenStore, canned_scenario, run_matrix
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenario_matrix.json"
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens" / "scenario_matrix"
+
+#: Scenario-major grid order (regional_outage is exercised in tier-1
+#: tests; its per-group BGP fault replay would dominate smoke runtime).
+SCENARIO_NAMES = ("baseline", "geo_satellite", "flash_crowd", "pop_exhaustion")
+SEEDS = (0, 1)
+
+#: Scaled-down workload shared by every cell — part of the golden
+#: contract: changing these knobs means regenerating the goldens.
+CELL_KNOBS = dict(n_users=60, calls_per_user_day=2.0)
+
+WORKERS = 2
+
+
+def grid_axes() -> tuple[tuple[str, ...], tuple[int, ...]]:
+    """The full grid, or the ``BENCH_SCENARIO_GRID=NxM`` smoke cut."""
+    requested = os.environ.get("BENCH_SCENARIO_GRID", "")
+    if not requested:
+        return SCENARIO_NAMES, SEEDS
+    try:
+        n_scenarios, n_seeds = (int(part) for part in requested.split("x"))
+    except ValueError:
+        raise ValueError(
+            f"BENCH_SCENARIO_GRID must look like '2x2', got {requested!r}"
+        ) from None
+    if not 1 <= n_scenarios <= len(SCENARIO_NAMES) or not 1 <= n_seeds <= len(SEEDS):
+        raise ValueError(
+            f"BENCH_SCENARIO_GRID {requested!r} outside "
+            f"{len(SCENARIO_NAMES)}x{len(SEEDS)}"
+        )
+    return SCENARIO_NAMES[:n_scenarios], SEEDS[:n_seeds]
+
+
+def test_bench_scenario_matrix(show):
+    names, seeds = grid_axes()
+    grid = [replace(canned_scenario(name), **CELL_KNOBS) for name in names]
+    store = GoldenStore(GOLDEN_DIR)
+
+    sharded = run_matrix(
+        grid, seeds=seeds, workers=WORKERS, sharded=True, golden=store
+    )
+    show(sharded.render())
+    assert len(sharded.cells) == len(names) * len(seeds)
+    assert all(cell.n_calls > 0 for cell in sharded.cells)
+
+    # Determinism: the sequential grid reproduces every cell byte for byte.
+    sequential = run_matrix(grid, seeds=seeds, sharded=False)
+    for cell, reference in zip(sharded.cells, sequential.cells):
+        assert cell.key == reference.key
+        assert json.dumps(cell.report, sort_keys=True) == json.dumps(
+            reference.report, sort_keys=True
+        ), f"{cell.key}: sharded report differs from sequential"
+
+    JSON_PATH.write_text(sharded.to_json() + "\n", encoding="utf-8")
+    show(f"wrote {JSON_PATH}")
+
+    # Golden gate last, so the summary artifact exists even on failure.
+    regressions = sharded.regressions()
+    assert not regressions, "golden regressions:\n" + "\n".join(
+        cell.golden.render() for cell in regressions
+    )

@@ -633,3 +633,39 @@ def degrade_segment(
         extra_loss=extra_loss,
         extra_delay_ms=extra_delay_ms,
     )
+
+
+#: One-way GEO bounce: ~35 786 km up + down at light speed in vacuum plus
+#: gateway processing — the ~270 ms that makes satellite last miles the
+#: worst case for interactive video ("Watching Stars in Pixels").
+GEO_SATELLITE_DELAY_MS = 270.0
+
+#: Constant loss from the shaper/PEP a consumer GEO service runs at the
+#: gateway: bursty drops under traffic shaping, folded to a flat rate.
+GEO_SHAPING_LOSS = 0.012
+
+
+def satellite_segment(
+    segment: PathSegment,
+    *,
+    one_way_delay_ms: float = GEO_SATELLITE_DELAY_MS,
+    shaping_loss: float = GEO_SHAPING_LOSS,
+) -> DegradedSegment:
+    """``segment``'s last mile re-homed onto a GEO satellite service.
+
+    The terrestrial access segment keeps its endpoints and stochastic
+    loss model (the gateway still reaches the PoP over ground
+    infrastructure) and gains the satellite hop's constant one-way delay
+    plus the traffic shaper's constant loss.  Stacks on an already
+    degraded segment by summing the impairments.
+    """
+    return DegradedSegment(
+        kind=segment.kind,
+        start=segment.start,
+        end=segment.end,
+        as_type=segment.as_type,
+        owner_type=segment.owner_type,
+        label=f"{segment.label}+geo-sat" if segment.label else "geo-sat",
+        extra_loss=min(segment.extra_loss + shaping_loss, 0.95),
+        extra_delay_ms=getattr(segment, "extra_delay_ms", 0.0) + one_way_delay_ms,
+    )

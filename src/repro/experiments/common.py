@@ -202,6 +202,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "failover": "repro.experiments.failover",
     "fig6": "repro.experiments.fig6_delay",
     "fig6_delay": "repro.experiments.fig6_delay",
+    "scenario": "repro.experiments.scenario",
     "steering": "repro.experiments.steering",
 }
 

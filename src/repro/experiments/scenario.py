@@ -1,0 +1,82 @@
+"""Scenario experiment: run one declarative scenario over a world.
+
+The uniform-API bridge into :mod:`repro.scenarios`: pick a canned
+scenario by registry name or hand in a spec's JSON, and run it on an
+already-built world —
+
+    run(world, RunConfig.of("scenario", name="geo_satellite")).render()
+
+The spec's world *recipe* (seed, GeoIP errors) is ignored in favour of
+the world actually passed in; its world *restrictions* (PoPs down,
+capacity caps) and fault timeline are applied for the campaign and
+rolled back afterwards, leaving the world as found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.common import World
+from repro.scenarios.loader import load_scenario
+from repro.scenarios.registry import canned_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.workload.engine import CampaignRun
+
+
+@dataclass(slots=True)
+class ScenarioRun:
+    """One scenario's campaign plus the spec that produced it."""
+
+    spec: ScenarioSpec
+    campaign: CampaignRun
+    sharded: bool = False
+
+    def render(self) -> str:
+        lines = [
+            f"Scenario '{self.spec.name}' — scale {self.spec.world.scale}, "
+            f"seed {self.spec.seed}"
+            + (f", sharded" if self.sharded else "")
+        ]
+        if self.spec.description:
+            lines.append(f"  {self.spec.description}")
+        lines.append(self.campaign.render())
+        return "\n".join(lines)
+
+
+def run(
+    world: World,
+    *,
+    name: str = "",
+    spec_json: str = "",
+    seed: int | None = None,
+    workers: int = 1,
+) -> ScenarioRun:
+    """Run one scenario on ``world`` (restoring any faults afterwards).
+
+    Exactly one of ``name`` (a registry name, see
+    :func:`repro.scenarios.registry.canned_names`) and ``spec_json``
+    (a serialised :class:`ScenarioSpec`) selects the scenario; ``seed``
+    optionally overrides the spec's campaign seed.  ``workers > 1``
+    shards the campaign over a pool created on the faulted world — the
+    unfaulted case reuses ``world``'s persistent campaign pool.
+    """
+    if bool(name) == bool(spec_json):
+        raise ValueError("pass exactly one of name= and spec_json=")
+    spec = canned_scenario(name) if name else ScenarioSpec.from_json(spec_json)
+    if spec.world.scale != world.scale.value:
+        spec = replace(spec, world=replace(spec.world, scale=world.scale.value))
+    if seed is not None:
+        spec = replace(spec, seed=seed)
+    loaded = load_scenario(spec, base_world=world)
+    try:
+        if workers > 1 and loaded.applied is not None and not loaded.applied.active:
+            # Nothing mutated the world: safe to reuse (and keep warm)
+            # the world's persistent pool across scenario runs.
+            campaign = loaded.run(pool=world.campaign_pool(workers=workers))
+        elif workers > 1:
+            campaign = loaded.run(workers=workers)
+        else:
+            campaign = loaded.run()
+    finally:
+        loaded.restore()
+    return ScenarioRun(spec=spec, campaign=campaign, sharded=workers > 1)

@@ -18,6 +18,7 @@ happens when pieces of it break:
 """
 
 from repro.faults.events import (
+    EVENT_TYPES,
     FaultEvent,
     FaultTimeline,
     LinkDown,
@@ -29,6 +30,10 @@ from repro.faults.events import (
     SimulatedClock,
     TransitDegrade,
     TransitRestore,
+    event_from_dict,
+    event_to_dict,
+    events_from_json,
+    events_to_json,
     random_flap_timeline,
 )
 from repro.faults.injector import FaultInjector
@@ -53,8 +58,13 @@ from repro.faults.scenarios import (
 )
 
 __all__ = [
+    "EVENT_TYPES",
     "FaultEvent",
     "FaultTimeline",
+    "event_from_dict",
+    "event_to_dict",
+    "events_from_json",
+    "events_to_json",
     "LinkDown",
     "LinkUp",
     "PopDown",

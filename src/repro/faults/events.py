@@ -10,7 +10,9 @@ produce the identical event log.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -132,6 +134,100 @@ class TransitRestore(FaultEvent):
         return f"restore     {self.regions[0]}~{self.regions[1]}"
 
 
+#: Every concrete event type, keyed by class name — the wire-format tag.
+EVENT_TYPES: dict[str, type[FaultEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        LinkDown,
+        LinkUp,
+        PopDown,
+        PopUp,
+        SessionDown,
+        SessionUp,
+        TransitDegrade,
+        TransitRestore,
+    )
+}
+
+
+def event_to_dict(event: FaultEvent) -> dict:
+    """A JSON-ready payload: ``{"type": <class name>, <fields...>}``.
+
+    Tuples become lists (JSON has no tuple); :func:`event_from_dict`
+    restores them, so the round trip is exact — applying a round-tripped
+    event and its inverse leaves a service byte-for-byte as found.
+    """
+    name = type(event).__name__
+    if EVENT_TYPES.get(name) is not type(event):
+        raise TypeError(
+            f"cannot serialise {name}: not a registered fault event "
+            f"(known: {sorted(EVENT_TYPES)})"
+        )
+    payload: dict = {"type": name}
+    for f in dataclass_fields(event):
+        value = getattr(event, f.name)
+        payload[f.name] = list(value) if isinstance(value, tuple) else value
+    return payload
+
+
+def event_from_dict(payload: dict) -> FaultEvent:
+    """The inverse of :func:`event_to_dict`.
+
+    Raises
+    ------
+    ValueError
+        For a missing/unknown ``type`` tag or unknown fields — the
+        message names the offender and lists what is accepted.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"fault event payload must be a JSON object, got {type(payload).__name__}"
+        )
+    data = dict(payload)
+    name = data.pop("type", None)
+    if name is None:
+        raise ValueError(
+            f"fault event payload is missing its 'type' field "
+            f"(known types: {sorted(EVENT_TYPES)})"
+        )
+    cls = EVENT_TYPES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault event type {name!r} (known: {sorted(EVENT_TYPES)})"
+        )
+    known = {f.name for f in dataclass_fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {unknown} for {name} (accepted: {sorted(known)})"
+        )
+    kwargs = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in data.items()
+    }
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:  # missing required fields
+        raise ValueError(f"bad {name} payload: {exc}") from None
+
+
+def events_to_json(events: Iterable[FaultEvent], *, indent: int | None = 2) -> str:
+    """A byte-stable JSON array of events (sorted keys, fixed order)."""
+    return json.dumps(
+        [event_to_dict(event) for event in events], indent=indent, sort_keys=True
+    )
+
+
+def events_from_json(text: str) -> tuple[FaultEvent, ...]:
+    """Parse a JSON array written by :func:`events_to_json`."""
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise ValueError(
+            f"fault event JSON must be an array, got {type(payload).__name__}"
+        )
+    return tuple(event_from_dict(item) for item in payload)
+
+
 @dataclass(slots=True)
 class SimulatedClock:
     """Simulated seconds; strictly monotonic, never wall time."""
@@ -191,6 +287,23 @@ class FaultTimeline:
     def describe(self) -> tuple[str, ...]:
         """The deterministic event log, one line per event."""
         return tuple(event.describe() for event in self._events)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Byte-stable JSON; re-serialising the round trip is identical."""
+        return events_to_json(self._events, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultTimeline":
+        """Rebuild a timeline from :meth:`to_json` output.
+
+        Events pass through :meth:`add`, so the result is sorted exactly
+        as the original was (the serialised order is already sorted with
+        ties in insertion order, and the sort is stable).
+        """
+        timeline = cls()
+        for event in events_from_json(text):
+            timeline.add(event)
+        return timeline
 
 
 def random_flap_timeline(

@@ -1,0 +1,117 @@
+"""Canned scenarios: the operating regimes that stress the paper's claim.
+
+Each entry is a zero-argument builder returning a fresh
+:class:`~repro.scenarios.spec.ScenarioSpec`; callers tweak cells with
+``dataclasses.replace`` (e.g. per-cell seeds in the matrix runner).
+
+The line-up covers the ROADMAP's scenario classes:
+
+* ``baseline`` — the reference world: terrestrial last miles, diurnal
+  arrivals, no faults, no steering.
+* ``geo_satellite`` — every caller's last mile rides a GEO satellite
+  service (~270 ms one-way bounce plus traffic-shaper loss, per
+  PAPERS.md's "Watching Stars in Pixels"): the regime where backbone
+  optimisation matters least relative to access impairment.
+* ``flash_crowd`` — a global webinar: hundreds of attendees dial a
+  couple of hosts inside half an hour on top of the diurnal background,
+  concentrating demand on a few corridors and the hosts' TURN relays.
+* ``regional_outage`` — the failover-under-load composite: Singapore
+  (a documented cut vertex — losing it strands Sydney) goes down and a
+  trans-Pacific circuit is cut, while call volume runs 1.5× normal.
+* ``pop_exhaustion`` — entry-PoP capacity far below offered load, so
+  every VNS (and detour) stream entering a hot PoP is queued/shaped;
+  the Internet transport bypasses the PoP and is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.events import LinkDown, PopDown
+from repro.scenarios.spec import ScenarioSpec, WorldSpec
+
+
+def _baseline() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="baseline",
+        description="Reference world: terrestrial last miles, diurnal "
+        "arrivals, no faults, no steering.",
+    )
+
+
+def _geo_satellite() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="geo_satellite",
+        last_mile="geo_satellite",
+        description="Every caller's last mile over a GEO satellite "
+        "service: +270 ms one-way and shaper loss on the access leg of "
+        "both transports.",
+    )
+
+
+def _flash_crowd() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="flash_crowd",
+        arrival_profile="flash_crowd",
+        flash_attendees=240,
+        flash_hosts=2,
+        flash_hour_cet=18.0,
+        flash_window_h=0.5,
+        description="Global webinar: 240 attendees call 2 hosts inside "
+        "30 minutes on top of the diurnal background.",
+    )
+
+
+def _regional_outage() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="regional_outage",
+        calls_per_user_day=6.0,
+        faults=(
+            PopDown(time_s=0.0, pop="SIN"),
+            LinkDown(time_s=1.0, a="SJS", b="HK"),
+        ),
+        description="Failover under load: Singapore PoP down (strands "
+        "Sydney — SIN is a cut vertex) plus a trans-Pacific circuit cut, "
+        "at 1.5x normal call volume.",
+    )
+
+
+def _pop_exhaustion() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="pop_exhaustion",
+        world=WorldSpec(pop_capacity=(("*", 0.02),)),
+        description="Entry-PoP capacity exhaustion: every PoP capped at "
+        "0.02 erlangs, far below offered load, congesting VNS entry "
+        "while the Internet transport bypasses the PoPs.",
+    )
+
+
+#: Name -> builder; each call returns a fresh spec.
+SCENARIOS: dict[str, Callable[[], ScenarioSpec]] = {
+    "baseline": _baseline,
+    "geo_satellite": _geo_satellite,
+    "flash_crowd": _flash_crowd,
+    "regional_outage": _regional_outage,
+    "pop_exhaustion": _pop_exhaustion,
+}
+
+
+def canned_names() -> tuple[str, ...]:
+    """Registry names, in registration order."""
+    return tuple(SCENARIOS)
+
+
+def canned_scenario(name: str) -> ScenarioSpec:
+    """A fresh spec for a registry name.
+
+    Raises
+    ------
+    KeyError
+        For an unknown name; the message lists the registry.
+    """
+    builder = SCENARIOS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario {name!r} (known: {sorted(SCENARIOS)})"
+        )
+    return builder()

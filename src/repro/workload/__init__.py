@@ -22,6 +22,7 @@ from repro.workload.arrivals import (
     CallArrivalProcess,
     CallSpec,
     call_rate_profile,
+    flash_crowd_calls,
 )
 from repro.workload.engine import (
     CallResult,
@@ -29,6 +30,7 @@ from repro.workload.engine import (
     CampaignEngine,
     CampaignRun,
     CampaignStats,
+    PathModel,
     group_key,
     group_rng,
 )
@@ -81,6 +83,7 @@ __all__ = [
     "CampaignStats",
     "CampaignWorkerPool",
     "PairAccumulator",
+    "PathModel",
     "PoolStats",
     "ShardCheckpointStore",
     "ShardExecutionError",
@@ -95,6 +98,7 @@ __all__ = [
     "call_rate_profile",
     "campaign_fingerprint",
     "default_workers",
+    "flash_crowd_calls",
     "group_key",
     "group_rng",
     "partition_calls",

@@ -187,3 +187,73 @@ class CallArrivalProcess:
                 )
             )
         return specs
+
+
+def flash_crowd_calls(
+    population: UserPopulation,
+    *,
+    attendees: int,
+    hosts: int = 2,
+    day: int = 0,
+    start_hour_cet: float = 18.0,
+    window_h: float = 0.5,
+    duration_s: float = 600.0,
+    multiparty: bool = True,
+    seed: int = 0,
+    first_call_id: int = 0,
+) -> list[CallSpec]:
+    """A global-webinar flash crowd: ``attendees`` calls slam a few hosts.
+
+    The anti-diurnal workload: instead of demand spread over each
+    region's business day, every attendee dials one of ``hosts`` popular
+    users inside a single ``window_h``-hour window, concentrating load on
+    the hosts' corridors and (for ``multiparty`` legs) the entry PoPs'
+    TURN relays.  Callers are drawn uniformly world-wide — a webinar
+    audience ignores local time.
+
+    Deterministic in ``seed``; returned calls are ordered by start time
+    with sequential ids from ``first_call_id`` (pass the length of an
+    already generated call list to overlay the crowd on top of it).
+
+    Raises
+    ------
+    ValueError
+        For a non-positive attendee count/window/duration, or a host
+        count that is not in ``[1, len(population) - 1]``.
+    """
+    if attendees <= 0:
+        raise ValueError(f"attendees must be positive, got {attendees!r}")
+    if not 1 <= hosts < len(population):
+        raise ValueError(
+            f"hosts must be in [1, {len(population) - 1}], got {hosts!r}"
+        )
+    if window_h <= 0:
+        raise ValueError(f"window_h must be positive, got {window_h!r}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s!r}")
+    rng = np.random.default_rng(seed ^ 0xF1A5C0DE)
+    users = population.users
+    host_indices = rng.choice(len(users), size=hosts, replace=False)
+    host_set = {int(index) for index in host_indices}
+    offsets = np.sort(rng.random(attendees)) * window_h
+    caller_indices = rng.integers(0, len(users), size=attendees)
+    host_picks = rng.integers(0, hosts, size=attendees)
+    specs: list[CallSpec] = []
+    for slot, (offset, caller_index) in enumerate(zip(offsets, caller_indices)):
+        callee = users[int(host_indices[int(host_picks[slot])])]
+        caller_index = int(caller_index)
+        while caller_index in host_set:  # hosts don't dial in
+            caller_index = (caller_index + 1) % len(users)
+        absolute = day * 24.0 + start_hour_cet + float(offset)
+        specs.append(
+            CallSpec(
+                call_id=first_call_id + slot,
+                caller=users[caller_index],
+                callee=callee,
+                day=int(absolute // 24.0),
+                start_hour_cet=absolute % 24.0,
+                duration_s=duration_s,
+                multiparty=multiparty,
+            )
+        )
+    return specs

@@ -49,10 +49,9 @@ from __future__ import annotations
 
 import hashlib
 import time
-import warnings
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
@@ -76,8 +75,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (steering imports us back)
 #: Cache-miss sentinel (``None`` is a legitimate cached value).
 _MISS: object = object()
 
-#: "Argument not passed" sentinel for the legacy-kwarg deprecation shim.
-_UNSET: object = object()
+
+class PathModel(Protocol):
+    """A pure, picklable transform applied to paths at simulate time.
+
+    Implementations model scenario-level data-plane conditions — e.g. a
+    GEO-satellite last mile, corridor transit degradation, or PoP
+    congestion — without touching the engine's shared path caches.
+
+    ``transform`` receives the cached path, the transport it serves
+    (``"vns"`` / ``"internet"`` / ``"detour"``) and the call group's
+    anycast entry PoP, and returns either the path unchanged or a new
+    :class:`~repro.dataplane.path.DataPath`.  It must be a pure function
+    of its arguments (no hidden state, no randomness) so shard workers
+    reproduce the parent's transformed paths exactly.  ``fingerprint``
+    is a stable string folded into shard checkpoints' campaign
+    fingerprints.
+    """
+
+    def transform(
+        self, path: DataPath, transport: str, *, entry_pop: str
+    ) -> DataPath: ...  # pragma: no cover - protocol
+
+    def fingerprint(self) -> str: ...  # pragma: no cover - protocol
 
 
 @dataclass(frozen=True, slots=True)
@@ -353,9 +373,7 @@ class CampaignEngine:
     service:
         The VNS under test.
     config:
-        The frozen :class:`CampaignConfig`.  The individual ``seed`` /
-        ``packets_per_second`` / ``slot_s`` keywords are deprecated
-        shims for it and will be removed after one release.
+        The frozen :class:`CampaignConfig` (defaults when omitted).
     steering:
         An optional :class:`~repro.steering.engine.SteeringEngine`.
         When present, every resolved call gets a per-call transport
@@ -364,6 +382,14 @@ class CampaignEngine:
         Decisions are pure in the call's identity and the engine's
         (static) health table, so steering preserves the sequential-vs-
         sharded byte-identity contract.
+    path_model:
+        An optional :class:`PathModel` applied to each resolved path in
+        the *simulate* phase only — the shared path caches stay pure
+        (they depend only on the service's converged state) and steering
+        decisions keep seeing the unmodelled candidate RTTs.  The
+        transform must be a pure function of the path value, so shard
+        workers reproduce the parent's transformed paths exactly and the
+        sequential-vs-sharded byte-identity contract holds.
     """
 
     def __init__(
@@ -372,36 +398,17 @@ class CampaignEngine:
         config: CampaignConfig | None = None,
         *,
         steering: "SteeringEngine | None" = None,
-        seed: int = _UNSET,  # type: ignore[assignment]
-        packets_per_second: float = _UNSET,  # type: ignore[assignment]
-        slot_s: float = _UNSET,  # type: ignore[assignment]
+        path_model: "PathModel | None" = None,
     ) -> None:
-        legacy = {
-            name: value
-            for name, value in (
-                ("seed", seed),
-                ("packets_per_second", packets_per_second),
-                ("slot_s", slot_s),
-            )
-            if value is not _UNSET
-        }
-        if config is not None and legacy:
-            raise TypeError(
-                f"pass either config= or legacy keywords, not both: {sorted(legacy)}"
-            )
-        if config is None:
-            if legacy:
-                warnings.warn(
-                    "CampaignEngine(seed=..., packets_per_second=..., slot_s=...) "
-                    "is deprecated; pass config=CampaignConfig(...) instead",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            config = CampaignConfig(**legacy)
         self.service = service
-        self.config = config
+        self.config = config if config is not None else CampaignConfig()
         self.steering = steering
+        self.path_model = path_model
         self.turn = TurnService(service)
+        # Transformed-path memo for ``path_model``; keyed by the cached
+        # path object (pinned by the path caches for this engine's
+        # lifetime), so each distinct path is transformed once per run.
+        self._modeled: dict[tuple[str, int], DataPath] = {}
         # Path caches, each keyed at the coarsest granularity that is
         # still exact (see module docstring).
         self._entry: dict[Prefix, str | None] = {}
@@ -419,20 +426,6 @@ class CampaignEngine:
         self._local_exit: dict[tuple[str, Prefix], DataPath | None] = {}
         self._detour_paths: dict[tuple[Prefix, Prefix], DataPath | None] = {}
         self._candidates: dict[tuple[Prefix, Prefix], "PathCandidates"] = {}
-
-    # Read-only views kept for the one-release deprecation window of the
-    # old constructor keywords; new code should read ``engine.config``.
-    @property
-    def seed(self) -> int:
-        return self.config.seed
-
-    @property
-    def packets_per_second(self) -> float:
-        return self.config.packets_per_second
-
-    @property
-    def slot_s(self) -> float:
-        return self.config.slot_s
 
     # ------------------------------------------------------------------ #
     # path-cache export / import / warmup
@@ -681,6 +674,26 @@ class CampaignEngine:
     # phase 2: the simulation kernels
     # ------------------------------------------------------------------ #
 
+    def _modeled_path(
+        self, path: DataPath, transport: str, entry_pop: str
+    ) -> DataPath:
+        """``path`` through the path model (identity without one).
+
+        Memoised per cached-path object: the path caches pin each
+        resolved path for the engine's lifetime, so ``(transport,
+        id(path))`` is a stable key and each distinct path is
+        transformed at most once per engine.
+        """
+        model = self.path_model
+        if model is None:
+            return path
+        key = (transport, id(path))
+        modeled = self._modeled.get(key)
+        if modeled is None:
+            modeled = model.transform(path, transport, entry_pop=entry_pop)
+            self._modeled[key] = modeled
+        return modeled
+
     def _group_detour_path(
         self,
         key: GroupKey,
@@ -767,13 +780,17 @@ class CampaignEngine:
             hour = hour_bin + 0.5
             digest = group_digest(self.config.seed, key)
             detour_path = self._group_detour_path(key, indices, decisions)
+            if detour_path is not None:
+                detour_path = self._modeled_path(detour_path, "detour", pair.entry_pop)
+            vns_path = self._modeled_path(pair.via_vns, "vns", pair.entry_pop)
+            inet_path = self._modeled_path(pair.via_internet, "internet", pair.entry_pop)
             n = len(indices)
             specs.append(
-                StreamColumnSpec(pair.via_vns, n, duration_s, hour, digest, _SALT_VNS)
+                StreamColumnSpec(vns_path, n, duration_s, hour, digest, _SALT_VNS)
             )
             specs.append(
                 StreamColumnSpec(
-                    pair.via_internet, n, duration_s, hour, digest, _SALT_INTERNET
+                    inet_path, n, duration_s, hour, digest, _SALT_INTERNET
                 )
             )
             if detour_path is not None:
@@ -821,7 +838,7 @@ class CampaignEngine:
             hour = hour_bin + 0.5
             rng = group_rng(self.config.seed, key)
             vns_streams = simulate_stream_batch(
-                pair.via_vns,
+                self._modeled_path(pair.via_vns, "vns", pair.entry_pop),
                 len(indices),
                 duration_s=duration_s,
                 packets_per_second=self.config.packets_per_second,
@@ -830,7 +847,7 @@ class CampaignEngine:
                 rng=rng,
             )
             inet_streams = simulate_stream_batch(
-                pair.via_internet,
+                self._modeled_path(pair.via_internet, "internet", pair.entry_pop),
                 len(indices),
                 duration_s=duration_s,
                 packets_per_second=self.config.packets_per_second,
@@ -847,7 +864,7 @@ class CampaignEngine:
             detour_path = self._group_detour_path(key, indices, decisions)
             if detour_path is not None:
                 detour_streams = simulate_stream_batch(
-                    detour_path,
+                    self._modeled_path(detour_path, "detour", pair.entry_pop),
                     len(indices),
                     duration_s=duration_s,
                     packets_per_second=self.config.packets_per_second,

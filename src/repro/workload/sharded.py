@@ -81,6 +81,7 @@ from repro.workload.engine import (
     CampaignEngine,
     CampaignRun,
     CampaignStats,
+    PathModel,
 )
 from repro.workload.report import CampaignAggregator
 
@@ -272,6 +273,10 @@ class ShardTask:
     fail_attempts: int = 0  #: injected fault: raise on the first N attempts
     keep_results: bool = True
     steering: "SteeringEngine | None" = None
+    #: Optional :class:`~repro.workload.engine.PathModel` (picklable,
+    #: pure), applied by every worker at simulate time — never written
+    #: into the shared path caches.
+    path_model: "PathModel | None" = None
     submitted_at: float | None = None
 
 
@@ -548,7 +553,9 @@ def _execute_shard(
     before = perf.snapshot()
     perf.enable()
     try:
-        engine = CampaignEngine(service, task.config, steering=task.steering)
+        engine = CampaignEngine(
+            service, task.config, steering=task.steering, path_model=task.path_model
+        )
         if caches is not None:
             engine.adopt_path_caches(caches)
         run = engine.run(task.calls)
@@ -772,17 +779,19 @@ def campaign_fingerprint(
     *,
     steering_policy: str | None = None,
     keep_results: bool = True,
+    path_model_fingerprint: str | None = None,
 ) -> str:
     """A digest identifying one exact campaign partition.
 
     Checkpoint files are keyed by it, so resuming with a different seed,
-    kernel, call set, shard count or steering policy never picks up
-    stale shards.
+    kernel, call set, shard count, steering policy or path model never
+    picks up stale shards.
     """
     digest = blake2b(digest_size=8)
     digest.update(
         f"{config.seed}|{config.packets_per_second}|{config.slot_s}|"
         f"{config.kernel}|{steering_policy or '-'}|{int(keep_results)}|"
+        f"{path_model_fingerprint or '-'}|"
         f"{len(slices)}".encode("ascii")
     )
     for index, slice_ in enumerate(slices):
@@ -853,6 +862,11 @@ class ShardedCampaignRunner:
         Optional :class:`~repro.steering.engine.SteeringEngine`, shipped
         to every shard; the reduced report carries the same steering
         columns, byte-identical to the sequential engine's.
+    path_model:
+        Optional :class:`~repro.workload.engine.PathModel`, shipped to
+        every shard and applied at simulate time only.  Must be pure and
+        picklable; the reduced report stays byte-identical to a
+        sequential engine run with the same model.
     pool:
         A :class:`CampaignWorkerPool` to run on.  Passing one amortises
         worker spawn, world shipping and cache warmup across every
@@ -868,6 +882,7 @@ class ShardedCampaignRunner:
         *,
         world_spec: WorldSpec | None = None,
         steering: "SteeringEngine | None" = None,
+        path_model: "PathModel | None" = None,
         pool: CampaignWorkerPool | None = None,
     ) -> None:
         self.config = config if config is not None else CampaignConfig()
@@ -884,6 +899,7 @@ class ShardedCampaignRunner:
         self._world_spec = world_spec
         self._fail_map = dict(self.plan.fail_injections)
         self.steering = steering
+        self.path_model = path_model
         self.pool = pool
         #: Persistent caches for in-process shards (and salvage), warm
         #: across every run of this runner.
@@ -916,6 +932,7 @@ class ShardedCampaignRunner:
                 fail_attempts=self._fail_map.get(index, 0),
                 keep_results=self.plan.keep_results,
                 steering=self.steering,
+                path_model=self.path_model,
             )
             for index, slice_ in enumerate(slices)
         ]
@@ -927,6 +944,9 @@ class ShardedCampaignRunner:
                 slices,
                 steering_policy=None if self.steering is None else self.steering.policy.name,
                 keep_results=self.plan.keep_results,
+                path_model_fingerprint=(
+                    None if self.path_model is None else self.path_model.fingerprint()
+                ),
             )
             self._checkpoints = ShardCheckpointStore(
                 self.plan.checkpoint_dir, fingerprint

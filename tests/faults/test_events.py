@@ -1,16 +1,26 @@
 """Unit tests for fault events, the simulated clock, and timelines."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.faults.events import (
+    FaultEvent,
     FaultTimeline,
     LinkDown,
     LinkUp,
     PopDown,
+    PopUp,
     SessionDown,
+    SessionUp,
     SimulatedClock,
     TransitDegrade,
+    TransitRestore,
+    event_from_dict,
+    event_to_dict,
+    events_from_json,
+    events_to_json,
     random_flap_timeline,
 )
 
@@ -129,3 +139,86 @@ class TestRandomFlapTimeline:
             random_flap_timeline(
                 np.random.default_rng(0), links=LINKS, duration_s=0.0
             )
+
+
+class TestEventSerialisation:
+    EVENTS = (
+        LinkDown(time_s=10.0, a="LON", b="ASH"),
+        LinkUp(time_s=30.0, a="LON", b="ASH"),
+        PopDown(time_s=5.0, pop="SIN"),
+        PopUp(time_s=50.0, pop="SIN"),
+        SessionDown(time_s=1.0, asn=64512, router_id="r1.lon"),
+        SessionDown(time_s=1.0, asn=64512),
+        SessionUp(time_s=9.0, asn=64512, router_id=None),
+        TransitDegrade(
+            time_s=0.0, regions=("EU", "NA"), extra_loss=0.05, extra_delay_ms=40.0
+        ),
+        TransitRestore(time_s=600.0, regions=("EU", "NA")),
+    )
+
+    @pytest.mark.parametrize("event", EVENTS, ids=lambda e: type(e).__name__)
+    def test_round_trip_is_exact(self, event):
+        restored = event_from_dict(event_to_dict(event))
+        assert restored == event
+        assert type(restored) is type(event)
+
+    def test_regions_tuple_restored_from_json_list(self):
+        event = TransitDegrade(time_s=0.0, regions=("EU", "NA"))
+        payload = json.loads(json.dumps(event_to_dict(event)))
+        restored = event_from_dict(payload)
+        assert restored.regions == ("EU", "NA")
+        assert isinstance(restored.regions, tuple)
+
+    def test_events_json_round_trip_is_byte_stable(self):
+        text = events_to_json(self.EVENTS)
+        restored = events_from_json(text)
+        assert restored == self.EVENTS
+        assert events_to_json(restored) == text
+
+    def test_unknown_type_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="LinkDowm.*LinkDown"):
+            event_from_dict({"type": "LinkDowm", "time_s": 0.0, "a": "A", "b": "B"})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ValueError, match="'type'"):
+            event_from_dict({"time_s": 0.0, "a": "A", "b": "B"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="pop_code"):
+            event_from_dict({"type": "PopDown", "time_s": 0.0, "pop_code": "SIN"})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ValueError, match="PopDown"):
+            event_from_dict({"type": "PopDown", "time_s": 0.0})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError, match="object"):
+            event_from_dict(["PopDown"])
+
+    def test_non_array_events_json_rejected(self):
+        with pytest.raises(ValueError, match="array"):
+            events_from_json('{"type": "PopDown"}')
+
+    def test_unregistered_event_type_rejected_on_write(self):
+        class Bogus(FaultEvent):
+            pass
+
+        with pytest.raises(TypeError):
+            event_to_dict(Bogus(time_s=0.0))
+
+
+class TestTimelineSerialisation:
+    def test_round_trip_preserves_events_and_order(self):
+        timeline = FaultTimeline()
+        timeline.add(LinkUp(time_s=30.0, a="LON", b="ASH"))
+        timeline.add(LinkDown(time_s=10.0, a="LON", b="ASH"))
+        timeline.add(PopDown(time_s=10.0, pop="SIN"))
+        restored = FaultTimeline.from_json(timeline.to_json())
+        assert restored.events() == timeline.events()
+
+    def test_to_json_is_byte_stable(self):
+        timeline = FaultTimeline().extend(
+            [LinkDown(time_s=1.0, a="A", b="B"), LinkUp(time_s=2.0, a="A", b="B")]
+        )
+        text = timeline.to_json()
+        assert FaultTimeline.from_json(text).to_json() == text

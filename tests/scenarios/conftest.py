@@ -1,0 +1,18 @@
+"""Scenario-test fixtures: a private world scenarios may fault.
+
+Loading a scenario with control-plane faults mutates the service (and
+restores it), so these tests get their own package-scoped world rather
+than the shared session ``small_world``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import World, build_world
+
+
+@pytest.fixture(scope="package")
+def scenario_world() -> World:
+    """A small world scenario tests may fault (and must restore)."""
+    return build_world("small", seed=42)

@@ -1,0 +1,133 @@
+"""Canned-scenario behaviour: each regime moves the report as designed.
+
+Every test compares a scaled-down canned scenario against a baseline
+with identical workload knobs on one shared world, asserting the
+direction (and rough size) of the QoE delta the regime exists to
+produce.
+"""
+
+import statistics
+from dataclasses import replace
+
+import pytest
+
+from repro.scenarios import canned_scenario, load_scenario
+
+#: Scaled-down knobs shared by scenario and baseline, per comparison.
+SMALL = dict(n_users=40, calls_per_user_day=2.0)
+
+
+@pytest.fixture(scope="module")
+def reports(scenario_world):
+    """Memoised scaled-down scenario reports on the module's world."""
+    cache: dict[str, dict] = {}
+
+    def run(name: str, **kw):
+        key = f"{name}|{sorted(kw.items())}"
+        if key not in cache:
+            spec = replace(canned_scenario(name), **kw)
+            loaded = load_scenario(spec, base_world=scenario_world)
+            try:
+                cache[key] = loaded.run().report.to_dict()
+            finally:
+                loaded.restore()
+        return cache[key]
+
+    return run
+
+
+def p50s(report: dict, transport: str) -> dict[str, float]:
+    return {
+        pair: stats[transport]["delay_ms"]["p50"]
+        for pair, stats in report["pairs"].items()
+        if stats.get(transport)
+    }
+
+
+def mean_delta(a: dict[str, float], b: dict[str, float]) -> float:
+    common = set(a) & set(b)
+    assert common
+    return statistics.mean(b[k] - a[k] for k in common)
+
+
+class TestGeoSatellite:
+    def test_satellite_adds_the_bounce_to_both_transports(self, reports):
+        base = reports("baseline", **SMALL)
+        sat = reports("geo_satellite", **SMALL)
+        # One access leg per direction rides the ~270 ms GEO bounce, so
+        # per-pair RTT-derived p50 grows by roughly twice that; assert a
+        # conservative floor well past any terrestrial effect.
+        assert mean_delta(p50s(base, "vns"), p50s(sat, "vns")) > 400.0
+        assert mean_delta(p50s(base, "internet"), p50s(sat, "internet")) > 400.0
+
+    def test_call_mix_is_unchanged(self, reports):
+        base = reports("baseline", **SMALL)
+        sat = reports("geo_satellite", **SMALL)
+        assert sat["n_calls"] == base["n_calls"]
+        assert sat["turn_allocations"] == base["turn_allocations"]
+
+
+class TestFlashCrowd:
+    def test_crowd_adds_calls_and_turn_relays(self, reports):
+        base = reports("baseline", **SMALL)
+        crowd = reports("flash_crowd", **SMALL)
+        spec = canned_scenario("flash_crowd")
+        assert crowd["n_calls"] == base["n_calls"] + spec.flash_attendees
+        # Webinar legs are multiparty: TURN allocations surge.
+        assert crowd["turn_allocations"] > base["turn_allocations"] * 2
+
+    def test_demand_concentrates_on_host_corridors(self, reports):
+        base = reports("baseline", **SMALL)
+        crowd = reports("flash_crowd", **SMALL)
+        busiest = lambda report: max(
+            stats["calls"] for stats in report["pairs"].values()
+        )
+        assert busiest(crowd) > busiest(base) * 2
+
+
+class TestRegionalOutage:
+    def test_vns_detours_cost_delay_on_affected_corridors(self, reports):
+        spec = canned_scenario("regional_outage")
+        base = reports(
+            "baseline", n_users=40, calls_per_user_day=spec.calls_per_user_day
+        )
+        outage = reports("regional_outage", n_users=40)
+        assert outage["n_calls"] == base["n_calls"]
+        pb, po = p50s(base, "vns"), p50s(outage, "vns")
+        # Corridors touching Oceania / Asia-Pacific reroute around the
+        # lost SIN PoP and the cut trans-Pacific circuit.
+        affected = [
+            k
+            for k in set(pb) & set(po)
+            if any(region in k for region in ("OC", "AP"))
+        ]
+        assert statistics.mean(po[k] - pb[k] for k in affected) > 10.0
+
+    def test_vns_win_rate_drops_under_failover(self, reports):
+        spec = canned_scenario("regional_outage")
+        base = reports(
+            "baseline", n_users=40, calls_per_user_day=spec.calls_per_user_day
+        )
+        outage = reports("regional_outage", n_users=40)
+        rate = lambda report: statistics.mean(
+            stats["vns_delay_win_rate"] for stats in report["pairs"].values()
+        )
+        assert rate(outage) < rate(base)
+
+
+class TestPopExhaustion:
+    def test_congestion_penalises_vns_but_not_internet(self, reports):
+        base = reports("baseline", **SMALL)
+        exhausted = reports("pop_exhaustion", **SMALL)
+        assert mean_delta(p50s(base, "vns"), p50s(exhausted, "vns")) > 2.0
+        # The Internet transport bypasses the PoPs: byte-identical QoE.
+        pb, pe = p50s(base, "internet"), p50s(exhausted, "internet")
+        assert pb == pe
+
+    def test_vns_delay_wins_erode(self, reports):
+        base = reports("baseline", **SMALL)
+        exhausted = reports("pop_exhaustion", **SMALL)
+        rate = lambda report: statistics.mean(
+            stats["vns_delay_win_rate"] for stats in report["pairs"].values()
+        )
+        assert rate(exhausted) < rate(base)

@@ -1,0 +1,103 @@
+"""Golden differ and store unit tests (no world needed)."""
+
+import pytest
+
+from repro.scenarios import GoldenStore, diff_reports
+from repro.scenarios.golden import REGEN_ENV
+
+
+class TestDiffReports:
+    def test_identical_reports_are_ok(self):
+        report = {"a": 1, "b": [1.0, "x"], "c": {"d": True}}
+        assert diff_reports(report, dict(report)).ok
+
+    def test_float_within_tolerance_passes(self):
+        assert diff_reports({"v": 100.0}, {"v": 104.9}, rtol=0.05).ok
+
+    def test_float_outside_tolerance_fails_with_path(self):
+        diff = diff_reports({"p": {"v": 100.0}}, {"p": {"v": 106.0}}, rtol=0.05)
+        assert not diff.ok
+        assert "p.v" in diff.mismatches[0]
+        assert "100.0" in diff.mismatches[0]
+
+    def test_negative_floats_use_absolute_tolerance_base(self):
+        assert diff_reports({"v": -100.0}, {"v": -104.0}, rtol=0.05).ok
+        assert not diff_reports({"v": -100.0}, {"v": -106.0}, rtol=0.05).ok
+
+    def test_int_counts_must_match_exactly(self):
+        assert not diff_reports({"n": 100}, {"n": 101}).ok
+
+    def test_golden_float_accepts_int_actual(self):
+        assert diff_reports({"v": 1.0}, {"v": 1}).ok
+
+    def test_bools_are_not_numbers(self):
+        assert not diff_reports({"v": True}, {"v": 1}).ok
+        assert not diff_reports({"v": 1.0}, {"v": True}).ok
+
+    def test_missing_key_reported(self):
+        diff = diff_reports({"a": 1, "b": 2}, {"a": 1})
+        assert ["b: missing from report"] == diff.mismatches
+
+    def test_unexpected_key_reported(self):
+        diff = diff_reports({"a": 1}, {"a": 1, "z": 2})
+        assert "z: unexpected key" in diff.mismatches[0]
+
+    def test_list_length_change_reported(self):
+        diff = diff_reports({"xs": [1, 2]}, {"xs": [1]})
+        assert "length changed from 2 to 1" in diff.mismatches[0]
+
+    def test_list_elements_recurse_with_index(self):
+        diff = diff_reports({"xs": [{"v": 1}]}, {"xs": [{"v": 2}]})
+        assert "xs[0].v" in diff.mismatches[0]
+
+    def test_type_change_reported(self):
+        diff = diff_reports({"v": "1"}, {"v": 1})
+        assert "type changed" in diff.mismatches[0]
+
+    def test_string_mismatch_reported(self):
+        assert not diff_reports({"v": "vns"}, {"v": "internet"}).ok
+
+
+class TestGoldenStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = GoldenStore(tmp_path)
+        store.save("cell", {"a": 1.5})
+        assert store.load("cell") == {"a": 1.5}
+        assert store.keys() == ("cell",)
+
+    def test_missing_golden_flagged(self, tmp_path):
+        diff = GoldenStore(tmp_path).check("nope", {"a": 1})
+        assert diff.missing and not diff.ok
+        assert "no golden" in diff.render()
+
+    def test_update_writes_and_reports_clean(self, tmp_path):
+        store = GoldenStore(tmp_path)
+        assert store.check("cell", {"a": 1}, update=True).ok
+        assert store.load("cell") == {"a": 1}
+
+    def test_check_against_committed_golden(self, tmp_path):
+        store = GoldenStore(tmp_path)
+        store.save("cell", {"a": 1.0})
+        assert store.check("cell", {"a": 1.001}).ok
+        assert not store.check("cell", {"a": 2.0}).ok
+
+    def test_regen_env_rewrites(self, tmp_path, monkeypatch):
+        store = GoldenStore(tmp_path)
+        store.save("cell", {"a": 1.0})
+        monkeypatch.setenv(REGEN_ENV, "1")
+        assert store.check("cell", {"a": 999.0}).ok
+        assert store.load("cell") == {"a": 999.0}
+
+    def test_regen_env_zero_still_compares(self, tmp_path, monkeypatch):
+        store = GoldenStore(tmp_path)
+        store.save("cell", {"a": 1.0})
+        monkeypatch.setenv(REGEN_ENV, "0")
+        assert not store.check("cell", {"a": 999.0}).ok
+
+    def test_saved_files_are_byte_stable(self, tmp_path):
+        store = GoldenStore(tmp_path)
+        payload = {"b": 2, "a": [1.25, {"z": 1, "y": 2}]}
+        store.save("cell", payload)
+        first = store.path("cell").read_bytes()
+        store.save("cell", store.load("cell"))
+        assert store.path("cell").read_bytes() == first

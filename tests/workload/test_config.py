@@ -1,4 +1,4 @@
-"""Tests for the CampaignConfig value object and its deprecation shim."""
+"""Tests for the CampaignConfig value object."""
 
 import pytest
 
@@ -19,15 +19,13 @@ class TestCampaignConfig:
     def test_engine_accepts_config(self, small_world):
         engine = CampaignEngine(small_world.service, CampaignConfig(seed=9))
         assert engine.config == CampaignConfig(seed=9)
-        assert engine.seed == 9  # read-only legacy view
 
-    def test_legacy_kwargs_warn_and_build_config(self, small_world):
-        with pytest.warns(DeprecationWarning, match="CampaignConfig"):
-            engine = CampaignEngine(small_world.service, seed=5, slot_s=2.5)
-        assert engine.config == CampaignConfig(seed=5, slot_s=2.5)
-
-    def test_config_plus_legacy_kwargs_is_an_error(self, small_world):
-        with pytest.raises(TypeError, match="not both"):
+    def test_legacy_kwargs_are_gone(self, small_world):
+        # The deprecated CampaignEngine(seed=..., slot_s=...) shim was
+        # removed after its one-release window: plain TypeError now.
+        with pytest.raises(TypeError):
+            CampaignEngine(small_world.service, seed=5, slot_s=2.5)
+        with pytest.raises(TypeError):
             CampaignEngine(small_world.service, CampaignConfig(), seed=5)
 
     def test_no_kwargs_no_warning(self, small_world, recwarn):
