@@ -13,9 +13,42 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.common import World, build_world
+from repro.results import default_store_path, record
 
 #: One shared seed so every figure is regenerated from the same world.
 BENCH_SEED = 7
+
+#: Store-only shape rows accumulated by :func:`record_row` across the
+#: figure/table/ablation benches, flushed once per bench at session end.
+_STORE_ROWS: dict[str, dict] = {}
+
+
+def record_row(bench: str, **metrics: int | float) -> None:
+    """Accumulate shape metrics for ``bench``'s store-only run row.
+
+    The figure/table/ablation benches have no legacy ``BENCH_*.json``
+    snapshot; this is their path into the results store — each call
+    merges scalars into the bench's row, and the session-end hook
+    records one run per bench through :func:`repro.results.record`
+    (no-op when the store is disabled via ``REPRO_RESULTS_STORE=off``).
+    """
+    _STORE_ROWS.setdefault(bench, {}).update(metrics)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _flush_store_rows():
+    yield
+    rows = dict(_STORE_ROWS)
+    _STORE_ROWS.clear()
+    if not rows or default_store_path() is None:
+        return
+    for bench in sorted(rows):
+        record(
+            bench,
+            {"seed": BENCH_SEED, **rows[bench]},
+            seed=BENCH_SEED,
+            scale="medium",
+        )
 
 
 @pytest.fixture(scope="session")

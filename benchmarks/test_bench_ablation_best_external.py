@@ -17,7 +17,7 @@ from repro.vns.builder import VnsConfig
 from repro.vns.pop import POPS
 from repro.vns.service import VideoNetworkService
 
-from .conftest import BENCH_SEED, run_once
+from .conftest import BENCH_SEED, record_row, run_once
 
 
 def _geo_mismatch_fraction(service: VideoNetworkService) -> float:
@@ -61,3 +61,8 @@ def test_bench_ablation_best_external(benchmark, show):
     # must not *improve* things and typically hides routes.
     assert mismatch_with < 0.05
     assert mismatch_without >= mismatch_with
+    record_row(
+        "ablation_best_external",
+        geo_mismatch_with_fix=mismatch_with,
+        geo_mismatch_without_fix=mismatch_without,
+    )

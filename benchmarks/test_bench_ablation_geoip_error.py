@@ -13,7 +13,7 @@ from repro.geo.errors import RandomNoiseError
 from repro.vns.builder import VnsConfig
 from repro.vns.service import VideoNetworkService
 
-from .conftest import BENCH_SEED, run_once
+from .conftest import BENCH_SEED, record_row, run_once
 
 
 def test_bench_ablation_geoip_error(benchmark, show):
@@ -57,3 +57,9 @@ def test_bench_ablation_geoip_error(benchmark, show):
     assert noisy.fraction_within(20.0) >= paper.fraction_within(20.0) - 0.05
     # The big error classes, not the mild noise, create the outliers.
     assert len(paper.outliers(80.0)) > len(noisy.outliers(80.0))
+    record_row(
+        "ablation_geoip_error",
+        exact_frac_within_20ms=exact.fraction_within(20.0),
+        paper_frac_within_20ms=paper.fraction_within(20.0),
+        paper_outliers_80ms=len(paper.outliers(80.0)),
+    )

@@ -17,7 +17,7 @@ from repro.vns.geo_rr import linear_lp, stepped_lp
 from repro.vns.pop import POPS
 from repro.vns.service import VideoNetworkService
 
-from .conftest import BENCH_SEED, run_once
+from .conftest import BENCH_SEED, record_row, run_once
 
 
 def _geo_match_fraction(service: VideoNetworkService) -> float:
@@ -64,3 +64,9 @@ def test_bench_ablation_lp_function(benchmark, show):
     assert results["linear (10km)"] > 0.95
     assert results["stepped 500km"] >= results["stepped 3000km"] - 0.02
     assert results["linear (10km)"] >= results["stepped 3000km"]
+    record_row(
+        "ablation_lp_function",
+        linear_match_fraction=results["linear (10km)"],
+        stepped_500km_match_fraction=results["stepped 500km"],
+        stepped_3000km_match_fraction=results["stepped 3000km"],
+    )

@@ -15,7 +15,7 @@ from repro.experiments.common import build_world
 from repro.vns.builder import VnsConfig
 from repro.vns.service import VideoNetworkService
 
-from .conftest import BENCH_SEED, run_once
+from .conftest import BENCH_SEED, record_row, run_once
 
 
 def test_bench_ablation_overrides(benchmark, show):
@@ -86,3 +86,9 @@ def test_bench_ablation_overrides(benchmark, show):
     # the more-specific is steered to SYD while the parent is untouched.
     assert sub_pop == "SYD"
     assert parent_pop != "SYD" or parent_pop == report["force_exit"][0]
+    record_row(
+        "ablation_overrides",
+        force_exit_moved=int(after == forced),
+        geo_exempt_local_pref=exempt_lp,
+        static_more_specific_at_syd=int(sub_pop == "SYD"),
+    )

@@ -16,7 +16,7 @@ import pytest
 from repro.experiments import failover
 from repro.experiments.common import World, build_world
 
-from .conftest import BENCH_SEED, run_once
+from .conftest import BENCH_SEED, record_row, run_once
 
 
 @pytest.fixture(scope="module")
@@ -69,3 +69,4 @@ def test_bench_failover_suite(benchmark, failover_world, show):
     assert quiet.total_messages == 0
     assert quiet.notes["control_plane_quiet"] is True
     assert quiet.media.failover_loss_percent > quiet.media.steady_loss_percent
+    record_row("failover", **result.to_row())

@@ -12,7 +12,7 @@ import numpy as np
 from repro.experiments import fig10_loss_nature
 from repro.experiments.fig10_loss_nature import LossClass
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 
 def test_bench_fig10_loss_nature(benchmark, medium_world, show):
@@ -46,3 +46,10 @@ def test_bench_fig10_loss_nature(benchmark, medium_world, show):
     assert result.count("I", LossClass.LONG_BURST) == 0
     assert result.multi_slot_loss_fraction("I") < 0.5 * result.multi_slot_loss_fraction("T")
     assert result.count("I", LossClass.NO_LOSS) / result.sessions("I") > 0.85
+    record_row(
+        "fig10",
+        transit_short_bursts=result.count("T", LossClass.SHORT_BURST),
+        transit_long_bursts=result.count("T", LossClass.LONG_BURST),
+        vns_no_loss_fraction=result.count("I", LossClass.NO_LOSS)
+        / result.sessions("I"),
+    )

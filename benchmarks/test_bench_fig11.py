@@ -15,7 +15,7 @@ from repro.experiments import fig11_lastmile
 from repro.experiments.lastmile import run_lastmile_campaign
 from repro.geo.regions import WorldRegion
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 AP = WorldRegion.ASIA_PACIFIC
 EU = WorldRegion.EUROPE
@@ -51,3 +51,9 @@ def test_bench_fig11_lastmile(benchmark, medium_world, campaign, show):
     assert result.loss("SJS", AP) < 2.0 * ap_local
     # London anomaly: LON→EU above the other EU PoPs (paper >2x).
     assert result.london_eu_ratio() > 1.15
+    record_row(
+        "fig11",
+        ap_to_eu_over_eu_local=result.region_average("AP", EU)
+        / result.region_average("EU", EU),
+        london_eu_ratio=result.london_eu_ratio(),
+    )

@@ -12,7 +12,7 @@ from repro.experiments.lastmile import run_lastmile_campaign
 from repro.geo.regions import WorldRegion
 from repro.net.asn import ASType
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 AP = WorldRegion.ASIA_PACIFIC
 EU = WorldRegion.EUROPE
@@ -50,3 +50,9 @@ def test_bench_fig12_diurnal(benchmark, medium_world, campaign, show):
     # is awake (00-16 CET; "drops as it ends around 3PM CET").
     counts = result.hourly(ASType.CAHP, AP)
     assert sum(counts[0:16]) > sum(counts[16:24])
+    record_row(
+        "fig12",
+        cahp_ap_peak_to_trough=result.peak_to_trough(ASType.CAHP, AP),
+        cahp_eu_peak_to_trough=result.peak_to_trough(ASType.CAHP, EU),
+        peaks_in_local_window=hits,
+    )

@@ -9,13 +9,20 @@ in-text AS-congruence statistic.
 from repro.experiments import fig3_precision
 from repro.geo.regions import PopRegion
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 
 def test_bench_fig3_precision(benchmark, medium_world_with_errors, show):
     world = medium_world_with_errors
     result = run_once(benchmark, fig3_precision.run, world)
     congruence = fig3_precision.as_congruence(world, result)
+    record_row(
+        "fig3",
+        records=len(result.records),
+        frac_within_20ms=result.fraction_within(20.0),
+        outliers_80ms=len(result.outliers(min_excess_ms=80.0)),
+        as_congruence_25=congruence.fraction_of_ases_with_agreement(0.25),
+    )
 
     show(
         fig3_precision.render(result)

@@ -7,12 +7,18 @@ dominating.
 
 from repro.experiments import fig4_egress
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 
 def test_bench_fig4_egress_distribution(benchmark, medium_world_pair, show):
     result = run_once(benchmark, fig4_egress.run, medium_world_pair)
     show(fig4_egress.render(result))
+    record_row(
+        "fig4",
+        local_exit_pct_before=result.local_exit_pct("before"),
+        local_exit_pct_after=result.local_exit_pct("after"),
+        max_share_pct_after=result.max_share_pct("after"),
+    )
 
     # --- shape assertions -----------------------------------------------
     # Hot potato keeps most traffic local at London.

@@ -7,12 +7,19 @@ footprint) pulls ahead.
 
 from repro.experiments import fig5_neighbors
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 
 def test_bench_fig5_neighbors(benchmark, medium_world_pair, show):
     result = run_once(benchmark, fig5_neighbors.run, medium_world_pair)
     show(fig5_neighbors.render(result))
+    record_row(
+        "fig5",
+        transit_share_before_pct=result.transit_share_before_pct,
+        transit_share_after_pct=result.transit_share_after_pct,
+        upstreams=len(result.upstream_rows()),
+        peers=len(result.peer_rows()),
+    )
 
     # --- shape assertions -----------------------------------------------
     # Inset: transit share stable around 80%.

@@ -7,12 +7,13 @@ are not stretched by more than 50 ms.
 
 from repro.experiments import fig6_delay
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 
 def test_bench_fig6_delay(benchmark, medium_world, show):
     result = run_once(benchmark, fig6_delay.run, medium_world)
     show(fig6_delay.render(result))
+    record_row("fig6", **result.to_row())
 
     # --- shape assertions -----------------------------------------------
     for code in ("SIN", "AMS", "SJS"):

@@ -8,12 +8,19 @@ geography to a large extent").
 from repro.experiments import fig7_incoming
 from repro.geo.regions import POP_REGION_FOR_WORLD_REGION, WorldRegion
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 
 def test_bench_fig7_incoming(benchmark, medium_world, show):
     result = run_once(benchmark, fig7_incoming.run, medium_world, requests=6000)
     show(fig7_incoming.render(result))
+    record_row(
+        "fig7",
+        regions=len(result.matrix),
+        regions_following_geography=sum(
+            result.follows_geography(region) for region in WorldRegion
+        ),
+    )
 
     # --- shape assertions -----------------------------------------------
     core_regions = (

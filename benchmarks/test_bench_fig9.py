@@ -13,7 +13,7 @@ this bench runs a deterministic half-hourly schedule for 2 simulated days
 from repro.experiments import fig9_video_loss
 from repro.geo.regions import PopRegion
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 
 def test_bench_fig9_video_loss(benchmark, medium_world, show):
@@ -52,3 +52,11 @@ def test_bench_fig9_video_loss(benchmark, medium_world, show):
     assert result.jitter_fraction_below(PROFILE_1080P, 10.0) > 0.95
     assert result.jitter_fraction_below(PROFILE_720P, 10.0) > 0.90
     assert result.jitter_fraction_below(PROFILE_1080P, 20.0) > 0.99
+    record_row(
+        "fig9",
+        syd_ap_transit_frac_over=result.fraction_over("SYD", PopRegion.AP, "T"),
+        ams_ap_transit_frac_over=result.fraction_over("AMS", PopRegion.AP, "T"),
+        jitter_1080p_frac_below_10ms=result.jitter_fraction_below(
+            PROFILE_1080P, 10.0
+        ),
+    )

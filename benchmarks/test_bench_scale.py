@@ -25,7 +25,6 @@ environment variable, e.g. ``BENCH_SCALES=small``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -35,6 +34,7 @@ import pytest
 from repro import perf
 from repro.bgp.attributes import AsPath, Route
 from repro.experiments.common import World, build_world
+from repro.results import record
 from repro.vns.geo_rr import GeoRouteReflector
 
 BENCH_SEED = 7
@@ -191,7 +191,7 @@ def test_emit_bench_scale_json(show) -> None:
         "microbench_repeats": MICROBENCH_REPEATS,
         "scales": _results,
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    show(f"wrote {JSON_PATH}")
-    for scale, record in _results.items():
-        assert record["geo_lp"]["speedup"] >= 2.0, scale
+    recorded = record("scale", payload, json_path=JSON_PATH, seed=BENCH_SEED)
+    show(f"wrote {JSON_PATH} (store run {recorded.run_id})")
+    for scale, row in _results.items():
+        assert row["geo_lp"]["speedup"] >= 2.0, scale

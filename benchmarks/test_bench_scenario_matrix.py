@@ -25,6 +25,7 @@ import os
 from dataclasses import replace
 from pathlib import Path
 
+from repro.results import record
 from repro.scenarios import GoldenStore, canned_scenario, run_matrix
 
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenario_matrix.json"
@@ -81,8 +82,10 @@ def test_bench_scenario_matrix(show):
             reference.report, sort_keys=True
         ), f"{cell.key}: sharded report differs from sequential"
 
-    JSON_PATH.write_text(sharded.to_json() + "\n", encoding="utf-8")
-    show(f"wrote {JSON_PATH}")
+    recorded = record(
+        "scenario_matrix", json.loads(sharded.to_json()), json_path=JSON_PATH
+    )
+    show(f"wrote {JSON_PATH} (store run {recorded.run_id})")
 
     # Golden gate last, so the summary artifact exists even on failure.
     regressions = sharded.regressions()

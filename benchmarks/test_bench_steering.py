@@ -24,7 +24,6 @@ Scales can be restricted for smoke runs (CI) with the
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -34,6 +33,7 @@ import pytest
 from repro import perf
 from repro.experiments import steering
 from repro.experiments.common import build_world
+from repro.results import record
 
 BENCH_SEED = 7
 ALL_SCALES = ("small", "medium")
@@ -161,7 +161,7 @@ def test_emit_bench_steering_json(show) -> None:
         "campaigns": {scale: CAMPAIGNS[scale] for scale in _results},
         "scales": _results,
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    show(f"wrote {JSON_PATH}")
-    for scale, record in _results.items():
-        assert record["decisions"]["total"] > 0, scale
+    recorded = record("steering", payload, json_path=JSON_PATH, seed=BENCH_SEED)
+    show(f"wrote {JSON_PATH} (store run {recorded.run_id})")
+    for scale, row in _results.items():
+        assert row["decisions"]["total"] > 0, scale

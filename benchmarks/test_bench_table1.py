@@ -19,7 +19,7 @@ from repro.experiments.lastmile import run_lastmile_campaign
 from repro.geo.regions import WorldRegion
 from repro.net.asn import ASType
 
-from .conftest import run_once
+from .conftest import record_row, run_once
 
 AP = WorldRegion.ASIA_PACIFIC
 EU = WorldRegion.EUROPE
@@ -59,3 +59,10 @@ def test_bench_table1_as_types(benchmark, medium_world, campaign, show):
         for as_type, paper_value in row.items():
             measured = result.loss(region, as_type)
             assert paper_value / 4 < measured < paper_value * 4, (region, as_type)
+    record_row(
+        "table1",
+        ap_spread=result.spread(AP),
+        na_spread=result.spread(NA),
+        ap_cahp_loss_pct=result.loss(AP, ASType.CAHP),
+        eu_ltp_loss_pct=result.loss(EU, ASType.LTP),
+    )

@@ -42,6 +42,7 @@ import pytest
 
 from repro import perf
 from repro.experiments.common import build_world
+from repro.results import record
 from repro.workload import (
     CallArrivalProcess,
     CampaignConfig,
@@ -126,6 +127,11 @@ GROUPED_BASELINE_CALLS_PER_S = 254.0
 #: Results accumulated across the parametrized scale tests, then emitted
 #: as BENCH_workload.json by the final test in this module.
 _results: dict[str, dict] = {}
+
+#: Per-scale campaign reports (for the store's pair_metrics rows) and
+#: perf snapshots, captured by the scale tests for the final record.
+_reports: dict[str, dict] = {}
+_perf: dict[str, dict] = {}
 
 
 def enabled_scales() -> tuple[str, ...]:
@@ -217,6 +223,8 @@ def test_bench_workload(scale: str, show) -> None:
         for phase in ("resolve", "simulate", "aggregate")
     }
     sequential_json = run.report.to_json()
+    _reports[scale] = json.loads(sequential_json)
+    _perf[scale] = snap.to_dict()
     sequential_simulate_cpu = snap["timers"]["workload.simulate"]["cpu_s"]
     # Best of two for the wall-clock comparison base: single runs on a
     # shared host carry +-20% scheduler noise, and the determinism
@@ -408,7 +416,26 @@ def test_emit_bench_workload_json(show) -> None:
                 "(repro.dataplane.columnar)"
             ),
         }
-    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    show(f"wrote {JSON_PATH}")
-    for scale, record in _results.items():
-        assert record["engine"]["calls_per_s"] > MIN_CALLS_PER_S[scale], scale
+    merged_perf = {
+        "counters": {
+            f"{scale}.{name}": value
+            for scale, snap in sorted(_perf.items())
+            for name, value in snap.get("counters", {}).items()
+        },
+        "timers": {
+            f"{scale}.{name}": row
+            for scale, snap in sorted(_perf.items())
+            for name, row in snap.get("timers", {}).items()
+        },
+    }
+    recorded = record(
+        "workload",
+        payload,
+        json_path=JSON_PATH,
+        seed=BENCH_SEED,
+        reports=_reports,
+        perf=merged_perf,
+    )
+    show(f"wrote {JSON_PATH} (store run {recorded.run_id})")
+    for scale, row in _results.items():
+        assert row["engine"]["calls_per_s"] > MIN_CALLS_PER_S[scale], scale

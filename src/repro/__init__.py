@@ -40,4 +40,16 @@ Subpackages
 
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["WorldSpec", "__version__"]
+
+
+def __getattr__(name: str) -> object:
+    # Canonical re-export, resolved lazily so importing ``repro`` stays
+    # cheap: ``repro.WorldSpec`` is the declarative scenarios world spec
+    # (the sharded worker recipe formerly sharing the name is now
+    # ``repro.workload.ShardWorldTransportSpec``).
+    if name == "WorldSpec":
+        from repro.scenarios.spec import WorldSpec
+
+        return WorldSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -181,18 +181,32 @@ def experiment_rng(world: World, salt: int) -> np.random.Generator:
 
 @runtime_checkable
 class ExperimentResult(Protocol):
-    """What every experiment ``run`` returns: a result that renders.
+    """What every experiment ``run`` returns: render, row, JSON.
 
-    Structurally typed — a result participates by growing a ``render()``
-    method, no inheritance required.  The per-experiment result classes
+    Structurally typed — a result participates by growing the three
+    methods, no inheritance required.  The per-experiment result classes
     (:class:`~repro.workload.engine.CampaignRun`,
     :class:`~repro.experiments.failover.FailoverResult`, ...) keep their
-    figure-specific accessors; ``render()`` is the one shape drivers such
-    as ``examples/paper_report.py`` rely on.
+    figure-specific accessors; these are the shapes shared drivers rely
+    on: ``render()`` for ``examples/paper_report.py``, ``to_row()`` /
+    ``to_json()`` for :func:`repro.results.record_experiment` (the row
+    becomes store metrics, the JSON the archived payload).
     """
 
     def render(self) -> str:
         """The experiment's rows as text (what the paper's figure shows)."""
+        ...
+
+    def to_row(self) -> dict:
+        """Flat scalar summary — dotted names to int/float values.
+
+        What the results store ingests as this experiment's metrics;
+        every value must be seed-deterministic (no wall-clock figures).
+        """
+        ...
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Canonical JSON (sorted keys): the archivable payload."""
         ...
 
 

@@ -16,6 +16,7 @@ deployment and leaves it converged and healthy.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.experiments.common import World, experiment_rng
@@ -122,6 +123,48 @@ class FailoverResult:
             f" max={window_cdf.quantile(1.0):.2f}"
         )
         return "\n".join(lines)
+
+    def to_row(self) -> dict:
+        """Flat scalar summary (seed-deterministic; no wall clock)."""
+        row = {
+            "scenarios": len(self.scenarios),
+            "fault_events": len(self.impacts()),
+            "messages_total": sum(s.total_messages for s in self.scenarios),
+            "blackholes_during_max": self.max_blackholes_during(),
+            "blackholes_permanent": self.permanent_blackhole_count(),
+        }
+        if self.impacts():
+            message_cdf = self.message_cdf()
+            window_cdf = self.window_cdf()
+            row["messages_per_event_p50"] = message_cdf.quantile(0.5)
+            row["messages_per_event_max"] = message_cdf.quantile(1.0)
+            row["failover_window_s_p50"] = window_cdf.quantile(0.5)
+            row["failover_window_s_max"] = window_cdf.quantile(1.0)
+        return row
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Canonical JSON: per-scenario blocks plus the flat row."""
+        scenarios = {}
+        for scenario in self.scenarios:
+            media = scenario.media
+            scenarios[scenario.name] = {
+                "messages": scenario.total_messages,
+                "events": len(scenario.impacts),
+                "blackholes_during_max": max(
+                    (len(i.blackholes_during) for i in scenario.impacts),
+                    default=0,
+                ),
+                "blackholes_permanent": len(scenario.permanent_blackholes),
+                "media": None
+                if media is None
+                else {
+                    "steady_loss_percent": media.steady_loss_percent,
+                    "failover_loss_percent": media.failover_loss_percent,
+                    "recovered_loss_percent": media.recovered_loss_percent,
+                },
+            }
+        payload = {"scenarios": scenarios, "row": self.to_row()}
+        return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 def run(

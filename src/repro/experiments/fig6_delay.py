@@ -9,6 +9,7 @@ links to Australia, USA and Europe".
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.dataplane.transmit import simulate_ping
@@ -44,6 +45,20 @@ class Fig6Result:
                 f"  {self.fraction_within(code, 50.0) * 100:6.1f}%"
             )
         return "\n".join(lines)
+
+    def to_row(self) -> dict:
+        """Flat scalar summary: per-vantage counts and CDF points."""
+        row: dict = {}
+        for code in self.diffs_by_pop:
+            row[f"{code}.measured"] = self.measured(code)
+            row[f"{code}.frac_not_worse"] = self.fraction_vns_not_worse(code)
+            row[f"{code}.frac_within_50ms"] = self.fraction_within(code, 50.0)
+        return row
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Canonical JSON: the per-PoP difference samples plus the row."""
+        payload = {"diffs_by_pop": self.diffs_by_pop, "row": self.to_row()}
+        return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 #: The three vantage points Fig. 6 plots.

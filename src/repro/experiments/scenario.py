@@ -14,6 +14,7 @@ rolled back afterwards, leaving the world as found.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, replace
 
 from repro.experiments.common import World
@@ -41,6 +42,23 @@ class ScenarioRun:
             lines.append(f"  {self.spec.description}")
         lines.append(self.campaign.render())
         return "\n".join(lines)
+
+    def to_row(self) -> dict:
+        """The campaign's row keyed under the scenario's name."""
+        return {
+            f"{self.spec.name}.{name}": value
+            for name, value in self.campaign.to_row().items()
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Canonical JSON: the spec, the campaign report, the flat row."""
+        payload = {
+            "spec": self.spec.to_dict(),
+            "sharded": self.sharded,
+            "report": self.campaign.report.to_dict(),
+            "row": self.to_row(),
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 def run(

@@ -92,6 +92,22 @@ class SteeringComparison:
         }
         return json.dumps(payload, indent=indent, sort_keys=True)
 
+    def to_row(self) -> dict:
+        """Flat scalar summary: each policy's steering outcomes."""
+        row: dict = {"policies": len(self.runs), "budget_bytes": self.budget_bytes}
+        for name, run in self.runs.items():
+            steering = run.report.steering
+            assert steering is not None
+            delta = steering["qoe_delta_vs_vns"]
+            row[f"{name}.offload_rate"] = steering["offload_rate"]
+            row[f"{name}.detour_calls"] = steering["detour_calls"]
+            row[f"{name}.backbone_saved_fraction"] = steering[
+                "backbone_saved_fraction"
+            ]
+            row[f"{name}.qoe_delta_delay_ms"] = delta["delay_ms_mean"]
+            row[f"{name}.qoe_delta_loss_pct"] = delta["loss_pct_mean"]
+        return row
+
     def render(self) -> str:
         lines = ["Steering policies — same campaign, three stances"]
         lines.append(

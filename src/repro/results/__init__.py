@@ -1,0 +1,91 @@
+"""Persistent results store with longitudinal perf/QoE analytics.
+
+Every campaign, steering comparison and bench run used to emit a
+one-off JSON blob; this package lands them all in one sqlite store so
+numbers compare across commits, seeds, scales and scenarios:
+
+* :func:`record` — the single write path.  One call writes the legacy
+  ``BENCH_*.json`` snapshot (byte-stable) *and* a normalized store row
+  keyed by ``(git_rev, bench, scenario, scale, seed, policy,
+  recorded_at)``;
+* :class:`ResultsStore` — the store itself: ``runs`` / ``metrics`` /
+  ``pair_metrics`` / ``perf`` tables, :meth:`~ResultsStore.latest`,
+  :meth:`~ResultsStore.trajectory` and :meth:`~ResultsStore.regression`
+  (through the shared tolerance differ, :mod:`repro.tolerance`), plus a
+  committable JSONL text form (:meth:`~ResultsStore.export_jsonl`);
+* :func:`heatmap_from_report` / :func:`heatmap_from_store` — per
+  region-pair QoE heatmaps (text grid and CSV) for any corridor metric;
+* :func:`perf_trajectory` — the cross-commit metric table;
+* :func:`migrate_bench_json` — lifts legacy ``BENCH_*.json`` snapshots
+  into trajectory rows;
+* ``python -m repro.results`` — the CLI CI drives (``check`` gates on
+  :data:`~repro.results.api.CI_GATES`, ``import``/``export`` move the
+  committed history, ``trajectory``/``heatmap`` render reports).
+"""
+
+from repro.results.api import (
+    CI_GATES,
+    GIT_REV_ENV,
+    STORE_ENV,
+    RecordedRun,
+    default_store_path,
+    git_rev,
+    open_store,
+    record,
+    record_experiment,
+    utc_now_iso,
+)
+from repro.results.heatmap import (
+    HeatmapGrid,
+    heatmap_from_pairs,
+    heatmap_from_report,
+    heatmap_from_store,
+)
+from repro.results.migrate import (
+    find_legacy_snapshots,
+    legacy_bench_name,
+    migrate_bench_json,
+    migrate_repo,
+)
+from repro.results.store import (
+    REGRESSION_RTOL,
+    Gate,
+    RegressionReport,
+    ResultsStore,
+    RunKey,
+    RunRow,
+    TrajectoryPoint,
+    flatten_metrics,
+)
+from repro.results.trajectory import perf_trajectory, trajectory_metrics
+
+__all__ = [
+    "CI_GATES",
+    "GIT_REV_ENV",
+    "REGRESSION_RTOL",
+    "STORE_ENV",
+    "Gate",
+    "HeatmapGrid",
+    "RecordedRun",
+    "RegressionReport",
+    "ResultsStore",
+    "RunKey",
+    "RunRow",
+    "TrajectoryPoint",
+    "default_store_path",
+    "find_legacy_snapshots",
+    "flatten_metrics",
+    "git_rev",
+    "heatmap_from_pairs",
+    "heatmap_from_report",
+    "heatmap_from_store",
+    "legacy_bench_name",
+    "migrate_bench_json",
+    "migrate_repo",
+    "open_store",
+    "perf_trajectory",
+    "record",
+    "record_experiment",
+    "trajectory_metrics",
+    "utc_now_iso",
+]

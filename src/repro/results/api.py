@@ -1,0 +1,220 @@
+"""``repro.results.record`` — the one write path for results.
+
+Every bench module and experiment driver that used to hand-roll a
+``json.dumps(...)`` snapshot now records through here: one call writes
+the legacy ``BENCH_*.json`` snapshot (byte-stable — exactly the bytes
+the old writers produced) *and* a normalized row in the persistent
+sqlite store, keyed by ``(git_rev, bench, scenario, scale, seed,
+policy, recorded_at)``.
+
+The default store lives at the repo root (``BENCH_results.sqlite``,
+gitignored; CI uploads it as an artifact) and can be redirected with
+the ``REPRO_RESULTS_STORE`` environment variable — set it to ``off``
+to skip store writes entirely (the legacy snapshot still lands).
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+import os
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.results.store import Gate, ResultsStore, RunKey, canonical_json
+
+#: Environment override for the store location (``off`` disables).
+STORE_ENV = "REPRO_RESULTS_STORE"
+
+#: Environment override for the recorded git rev (useful where the
+#: ``.git`` directory is absent, e.g. an exported source tree).
+GIT_REV_ENV = "REPRO_GIT_REV"
+
+#: The repo root this source tree lives in (``src/repro/results`` → up 3).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Default store file, next to the ``BENCH_*.json`` baselines.
+DEFAULT_STORE_NAME = "BENCH_results.sqlite"
+
+#: The curated cross-commit gates CI enforces per bench (see
+#: ``python -m repro.results check``).  Deliberately host-portable:
+#: deterministic counts and rates tightly, wall-clock-derived
+#: throughput only as a catastrophic-regression backstop.
+CI_GATES: dict[str, tuple[Gate, ...]] = {
+    "scale": (
+        # Intrinsic ratio (optimised vs reference geo-LP path); the
+        # bench itself asserts >= 2x, the trajectory guards drift.
+        Gate("+scales.small.geo_lp.speedup", rtol=0.5),
+        # Seed-deterministic convergence work: exact int compare.
+        Gate("scales.small.engine.messages_delivered"),
+    ),
+    "workload": (
+        Gate("scales.small.engine.onward_cache_hit_rate", rtol=0.10),
+        Gate("+scales.small.engine.calls_per_s", rtol=0.85),
+        Gate("scales.small.campaign.calls"),
+        Gate("scales.small.campaign.calls_failed"),
+    ),
+    "steering": (
+        Gate("scales.small.policies.threshold_offload.offload_rate", rtol=0.25),
+        Gate(
+            "scales.small.policies.cost_budgeted.backbone_saved_fraction",
+            rtol=0.25,
+        ),
+        Gate("scales.small.campaign.calls"),
+    ),
+    "scenario_matrix": (
+        # The golden gate distilled: any failed cell regresses the row.
+        Gate("golden_failed"),
+    ),
+}
+
+
+def default_store_path() -> Path | None:
+    """Where :func:`record` writes, honouring ``REPRO_RESULTS_STORE``.
+
+    ``None`` means store writes are disabled (``REPRO_RESULTS_STORE=off``).
+    """
+    override = os.environ.get(STORE_ENV, "").strip()
+    if override.lower() in ("off", "none", "0"):
+        return None
+    if override:
+        return Path(override)
+    return REPO_ROOT / DEFAULT_STORE_NAME
+
+
+def open_store(path: str | Path | None = None) -> ResultsStore:
+    """Open a results store (the default one when ``path`` is omitted)."""
+    if path is None:
+        path = default_store_path()
+        if path is None:
+            raise RuntimeError(
+                f"results store disabled via {STORE_ENV}; pass an explicit path"
+            )
+    return ResultsStore(path)
+
+
+def git_rev() -> str:
+    """The short git rev to key rows by (env override, then ``git``)."""
+    override = os.environ.get(GIT_REV_ENV, "").strip()
+    if override:
+        return override
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def utc_now_iso() -> str:
+    """Second-resolution UTC timestamp (``2026-08-07T12:34:56Z``)."""
+    return (
+        _datetime.datetime.now(_datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+        .replace("+00:00", "Z")
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RecordedRun:
+    """What one :func:`record` call produced."""
+
+    key: RunKey
+    #: Store row id, or ``None`` when store writes were disabled.
+    run_id: int | None
+    store_path: Path | None
+    json_path: Path | None
+
+
+def record(
+    bench: str,
+    payload: dict,
+    *,
+    json_path: str | os.PathLike | None = None,
+    store: ResultsStore | str | os.PathLike | None = None,
+    scenario: str = "",
+    scale: str = "",
+    seed: int = 0,
+    policy: str = "",
+    rev: str | None = None,
+    recorded_at: str | None = None,
+    reports: Mapping[str, Mapping] | None = None,
+    perf: Mapping | None = None,
+    indent: int | None = 2,
+) -> RecordedRun:
+    """Record one result: legacy JSON snapshot + persistent store row.
+
+    ``payload`` must be JSON-ready (the shape the old writers dumped).
+    ``json_path`` writes the legacy snapshot byte-for-byte as before:
+    ``json.dumps(payload, indent=2, sort_keys=True) + "\\n"``.  ``store``
+    accepts an open :class:`ResultsStore`, a path, or ``None`` for the
+    default store (skipped entirely when ``REPRO_RESULTS_STORE=off``).
+    ``reports`` maps labels to CampaignReport-shaped dicts for the
+    per-region-pair QoE tables; ``perf`` is a ``PerfSnapshot`` (or its
+    ``to_dict()``) for the counter/timer tables.
+    """
+    key = RunKey(
+        bench=bench,
+        scenario=scenario,
+        scale=scale,
+        seed=seed,
+        policy=policy,
+        git_rev=rev if rev is not None else git_rev(),
+        recorded_at=recorded_at if recorded_at is not None else utc_now_iso(),
+    )
+    snapshot_path: Path | None = None
+    if json_path is not None:
+        snapshot_path = Path(json_path)
+        snapshot_path.write_text(
+            canonical_json(payload, indent=indent) + "\n", encoding="utf-8"
+        )
+
+    run_id: int | None = None
+    store_path: Path | None = None
+    if isinstance(store, ResultsStore):
+        run_id = store.record_run(key, payload, reports=reports, perf=perf)
+        store_path = Path(store.path) if store.path != ":memory:" else None
+    else:
+        path = Path(store) if store is not None else default_store_path()
+        if path is not None:
+            with ResultsStore(path) as opened:
+                run_id = opened.record_run(key, payload, reports=reports, perf=perf)
+            store_path = path
+    return RecordedRun(
+        key=key, run_id=run_id, store_path=store_path, json_path=snapshot_path
+    )
+
+
+def record_experiment(
+    bench: str,
+    result: object,
+    *,
+    extra: Mapping[str, object] | None = None,
+    **key_fields: object,
+) -> RecordedRun:
+    """Record any uniform-API experiment result through :func:`record`.
+
+    ``result`` is an :class:`~repro.experiments.common.ExperimentResult`:
+    its ``to_json()`` becomes the payload (so the stored row re-exports
+    byte-stably) and its flat ``to_row()`` columns are merged in under
+    ``"row"`` if the payload does not already carry them.  ``key_fields``
+    pass through to :func:`record` (``scenario=``, ``scale=``, ...).
+    """
+    payload = json.loads(result.to_json())  # type: ignore[attr-defined]
+    if "row" not in payload:
+        payload["row"] = dict(result.to_row())  # type: ignore[attr-defined]
+    if extra:
+        payload.update(extra)
+    reports = None
+    report = payload.get("report")
+    if isinstance(report, dict) and "pairs" in report:
+        reports = {"": report}
+    return record(bench, payload, reports=reports, **key_fields)  # type: ignore[arg-type]

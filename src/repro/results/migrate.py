@@ -1,0 +1,74 @@
+"""Migration of legacy ``BENCH_*.json`` snapshots into the store.
+
+The four committed baselines predate the store; this module lifts any
+``BENCH_<name>.json`` file into a run row so their numbers join the
+longitudinal trajectory.  The bench name is the filename with the
+``BENCH_`` prefix and ``.json`` suffix stripped; the payload's own
+``seed`` (when present) keys the row.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.results.store import ResultsStore, RunKey
+
+#: Filename shape a legacy snapshot must have.
+LEGACY_PREFIX = "BENCH_"
+LEGACY_SUFFIX = ".json"
+
+
+def legacy_bench_name(path: str | Path) -> str:
+    """``BENCH_workload.json`` → ``workload`` (raises on other names)."""
+    name = Path(path).name
+    if not (name.startswith(LEGACY_PREFIX) and name.endswith(LEGACY_SUFFIX)):
+        raise ValueError(
+            f"not a legacy bench snapshot: {name!r} "
+            f"(expected {LEGACY_PREFIX}<bench>{LEGACY_SUFFIX})"
+        )
+    return name[len(LEGACY_PREFIX) : -len(LEGACY_SUFFIX)]
+
+
+def find_legacy_snapshots(root: str | Path) -> tuple[Path, ...]:
+    """Every ``BENCH_*.json`` directly under ``root``, sorted by name."""
+    return tuple(sorted(Path(root).glob(f"{LEGACY_PREFIX}*{LEGACY_SUFFIX}")))
+
+
+def migrate_bench_json(
+    store: ResultsStore,
+    path: str | Path,
+    *,
+    rev: str = "unknown",
+    recorded_at: str | None = None,
+) -> int:
+    """Ingest one legacy snapshot as a store row; returns the run id."""
+    from repro.results.api import utc_now_iso
+
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: legacy snapshot must be a JSON object")
+    key = RunKey(
+        bench=legacy_bench_name(path),
+        seed=int(payload.get("seed", 0) or 0),
+        git_rev=rev,
+        recorded_at=recorded_at if recorded_at is not None else utc_now_iso(),
+    )
+    return store.record_run(key, payload)
+
+
+def migrate_repo(
+    store: ResultsStore,
+    root: str | Path,
+    *,
+    rev: str = "unknown",
+    recorded_at: str | None = None,
+) -> dict[str, int]:
+    """Ingest every legacy snapshot under ``root``; ``bench -> run id``."""
+    return {
+        legacy_bench_name(path): migrate_bench_json(
+            store, path, rev=rev, recorded_at=recorded_at
+        )
+        for path in find_legacy_snapshots(root)
+    }

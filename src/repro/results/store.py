@@ -1,0 +1,673 @@
+"""The sqlite-backed persistent results store.
+
+One store file accumulates every bench, campaign and experiment row the
+repo produces, keyed by ``(git_rev, bench, scenario, scale, seed,
+policy, recorded_at)`` — the longitudinal counterpart to the one-off
+``BENCH_*.json`` snapshots.  Stdlib-only (``sqlite3`` + ``json``).
+
+Normalised tables
+-----------------
+``runs``
+    One row per recorded run: the full key plus the canonical JSON
+    payload (sorted keys — re-export is byte-stable).
+``metrics``
+    Every numeric leaf of the payload, flattened to a dotted path
+    (``scales.small.engine.calls_per_s``).  Integers keep their
+    int-ness so the tolerance differ can compare counts exactly.
+``pair_metrics``
+    Per directed region pair QoE columns ingested from
+    :class:`~repro.workload.report.CampaignReport`-shaped dicts:
+    ``(report, src, dst, transport, metric) -> value`` — the table the
+    corridor heatmap export reads.
+``perf``
+    Perf counters and timers from a
+    :class:`~repro.perf.counters.PerfSnapshot`.
+
+Query helpers
+-------------
+:meth:`ResultsStore.latest`, :meth:`ResultsStore.trajectory` (one
+metric across recorded git revs) and :meth:`ResultsStore.regression`
+(latest vs baseline through the shared tolerance differ,
+:mod:`repro.tolerance` — no second float-comparison implementation).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.tolerance import DEFAULT_ATOL, ToleranceDiff, diff_reports
+
+#: Default relative tolerance for cross-commit regression checks.
+#: Looser than the golden differ's 5%: trajectory rows cross hosts and
+#: runner load, where throughput legitimately moves tens of percent.
+REGRESSION_RTOL = 0.25
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    git_rev     TEXT NOT NULL,
+    bench       TEXT NOT NULL,
+    scenario    TEXT NOT NULL DEFAULT '',
+    scale       TEXT NOT NULL DEFAULT '',
+    seed        INTEGER NOT NULL DEFAULT 0,
+    policy      TEXT NOT NULL DEFAULT '',
+    recorded_at TEXT NOT NULL,
+    payload     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_bench ON runs (bench, recorded_at, id);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    name   TEXT NOT NULL,
+    value  REAL NOT NULL,
+    is_int INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (run_id, name)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS pair_metrics (
+    run_id    INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    report    TEXT NOT NULL DEFAULT '',
+    src       TEXT NOT NULL,
+    dst       TEXT NOT NULL,
+    transport TEXT NOT NULL DEFAULT '',
+    metric    TEXT NOT NULL,
+    value     REAL NOT NULL,
+    PRIMARY KEY (run_id, report, src, dst, transport, metric)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS perf (
+    run_id  INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    kind    TEXT NOT NULL,
+    name    TEXT NOT NULL,
+    count   REAL NOT NULL DEFAULT 0,
+    total_s REAL NOT NULL DEFAULT 0.0,
+    cpu_s   REAL NOT NULL DEFAULT 0.0,
+    PRIMARY KEY (run_id, kind, name)
+) WITHOUT ROWID;
+"""
+
+SCHEMA_VERSION = "1"
+
+#: Pair-summary sub-blocks stored under their own transport label; every
+#: other pair column lands under the empty transport.
+_PAIR_TRANSPORTS = ("vns", "internet", "steering")
+
+
+@dataclass(frozen=True, slots=True)
+class RunKey:
+    """The identity of one recorded run."""
+
+    bench: str
+    scenario: str = ""
+    scale: str = ""
+    seed: int = 0
+    policy: str = ""
+    git_rev: str = "unknown"
+    recorded_at: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.bench:
+            raise ValueError("RunKey.bench must be a non-empty name")
+
+
+@dataclass(frozen=True, slots=True)
+class RunRow:
+    """One stored run: key fields plus the parsed payload."""
+
+    id: int
+    key: RunKey
+    payload: dict
+
+    @property
+    def bench(self) -> str:
+        return self.key.bench
+
+    @property
+    def git_rev(self) -> str:
+        return self.key.git_rev
+
+    @property
+    def recorded_at(self) -> str:
+        return self.key.recorded_at
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One metric sample along a bench's recorded history."""
+
+    run_id: int
+    git_rev: str
+    recorded_at: str
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class Gate:
+    """One regression-gated metric.
+
+    ``metric`` may carry a direction prefix: ``+name`` tolerates any
+    improvement and gates only a drop (higher is better), ``-name`` the
+    reverse; a bare name is two-sided.  ``rtol``/``atol`` follow the
+    shared differ's semantics.
+    """
+
+    metric: str
+    rtol: float = REGRESSION_RTOL
+    atol: float = DEFAULT_ATOL
+
+    @property
+    def direction(self) -> str:
+        return self.metric[0] if self.metric[:1] in "+-" else ""
+
+    @property
+    def name(self) -> str:
+        return self.metric.lstrip("+-")
+
+
+@dataclass(slots=True)
+class RegressionReport:
+    """The outcome of one cross-commit regression check."""
+
+    bench: str
+    latest: RunRow | None
+    baseline: RunRow | None
+    diff: ToleranceDiff
+
+    @property
+    def ok(self) -> bool:
+        """No regression.  A bench with fewer than two recorded runs is
+        vacuously fine — there is nothing to regress against yet."""
+        if self.latest is None or self.baseline is None:
+            return True
+        return self.diff.ok
+
+    def render(self) -> str:
+        if self.latest is None:
+            return f"{self.bench}: no runs recorded"
+        if self.baseline is None:
+            return (
+                f"{self.bench}: only {self.latest.git_rev} recorded — "
+                "no baseline to compare against"
+            )
+        return self.diff.render()
+
+
+def flatten_metrics(payload: object, prefix: str = "") -> dict[str, int | float]:
+    """Every numeric leaf of ``payload`` as ``dotted.path -> value``.
+
+    Bools, strings and ``None`` are skipped (they live in the payload
+    itself); list elements are indexed ``name[i]``.
+    """
+    flat: dict[str, int | float] = {}
+    _flatten_into(payload, prefix, flat)
+    return flat
+
+
+def _flatten_into(value: object, path: str, flat: dict[str, int | float]) -> None:
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return
+    if isinstance(value, (int, float)):
+        if path:
+            flat[path] = value
+        return
+    if isinstance(value, Mapping):
+        for key in value:
+            child = f"{path}.{key}" if path else str(key)
+            _flatten_into(value[key], child, flat)
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _flatten_into(item, f"{path}[{index}]", flat)
+
+
+def canonical_json(payload: dict, *, indent: int | None = 2) -> str:
+    """The store's one serialisation: sorted keys, fixed separators."""
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def _pair_rows(
+    report_name: str, report: Mapping
+) -> Iterator[tuple[str, str, str, str, str, float]]:
+    """Flatten one CampaignReport-shaped dict into pair_metrics rows."""
+    pairs = report.get("pairs")
+    if not isinstance(pairs, Mapping):
+        return
+    for pair_key, summary in pairs.items():
+        src, _, dst = str(pair_key).partition("->")
+        if not dst or not isinstance(summary, Mapping):
+            continue
+        for name, value in flatten_metrics(summary).items():
+            head, _, rest = name.partition(".")
+            if head in _PAIR_TRANSPORTS and rest:
+                transport, metric = head, rest
+            else:
+                transport, metric = "", name
+            yield report_name, src, dst, transport, metric, float(value)
+
+
+class ResultsStore:
+    """A sqlite results store (see module docstring for the schema).
+
+    Usable as a context manager; ``path`` may be ``":memory:"`` for
+    tests.  All writes are transactional per :meth:`record_run` /
+    :meth:`import_jsonl` call.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(self.path)
+        self._db.execute("PRAGMA foreign_keys = ON")
+        with self._db:
+            self._db.executescript(_SCHEMA)
+            self._db.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (SCHEMA_VERSION,),
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def record_run(
+        self,
+        key: RunKey,
+        payload: dict,
+        *,
+        reports: Mapping[str, Mapping] | None = None,
+        perf: Mapping | None = None,
+    ) -> int:
+        """Ingest one run; returns its ``run_id``.
+
+        ``payload`` is stored canonically and flattened into the
+        ``metrics`` table.  ``reports`` maps a label (a scale, a policy
+        name, ...) to a CampaignReport-shaped dict whose per-pair QoE
+        columns land in ``pair_metrics``.  ``perf`` is a
+        :class:`~repro.perf.counters.PerfSnapshot` or its ``to_dict()``.
+        """
+        if not key.recorded_at:
+            raise ValueError("RunKey.recorded_at must be set before recording")
+        perf_dict = perf.to_dict() if hasattr(perf, "to_dict") else perf
+        with self._db:
+            cursor = self._db.execute(
+                "INSERT INTO runs (git_rev, bench, scenario, scale, seed,"
+                " policy, recorded_at, payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key.git_rev,
+                    key.bench,
+                    key.scenario,
+                    key.scale,
+                    key.seed,
+                    key.policy,
+                    key.recorded_at,
+                    canonical_json(payload),
+                ),
+            )
+            run_id = int(cursor.lastrowid)
+            self._db.executemany(
+                "INSERT INTO metrics (run_id, name, value, is_int)"
+                " VALUES (?, ?, ?, ?)",
+                (
+                    (run_id, name, float(value), int(isinstance(value, int)))
+                    for name, value in flatten_metrics(payload).items()
+                ),
+            )
+            if reports:
+                self._db.executemany(
+                    "INSERT INTO pair_metrics (run_id, report, src, dst,"
+                    " transport, metric, value) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        (run_id, *row)
+                        for name, report in reports.items()
+                        for row in _pair_rows(name, report)
+                    ),
+                )
+            if perf_dict:
+                self._db.executemany(
+                    "INSERT INTO perf (run_id, kind, name, count, total_s, cpu_s)"
+                    " VALUES (?, ?, ?, ?, ?, ?)",
+                    _perf_rows(run_id, perf_dict),
+                )
+        return run_id
+
+    def delete_run(self, run_id: int) -> None:
+        with self._db:
+            self._db.execute("DELETE FROM runs WHERE id = ?", (run_id,))
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def benches(self) -> tuple[str, ...]:
+        rows = self._db.execute("SELECT DISTINCT bench FROM runs ORDER BY bench")
+        return tuple(name for (name,) in rows)
+
+    def runs(
+        self,
+        bench: str | None = None,
+        *,
+        scenario: str | None = None,
+        scale: str | None = None,
+        seed: int | None = None,
+        policy: str | None = None,
+        git_rev: str | None = None,
+    ) -> list[RunRow]:
+        """Matching runs, oldest first (``recorded_at`` then insert id)."""
+        clauses, params = ["1=1"], []
+        for column, value in (
+            ("bench", bench),
+            ("scenario", scenario),
+            ("scale", scale),
+            ("seed", seed),
+            ("policy", policy),
+            ("git_rev", git_rev),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        rows = self._db.execute(
+            "SELECT id, git_rev, bench, scenario, scale, seed, policy,"
+            f" recorded_at, payload FROM runs WHERE {' AND '.join(clauses)}"
+            " ORDER BY recorded_at, id",
+            params,
+        )
+        return [_run_row(row) for row in rows]
+
+    def latest(self, bench: str, **filters: object) -> RunRow | None:
+        """The most recently recorded run of ``bench`` (or ``None``)."""
+        rows = self.runs(bench, **filters)  # type: ignore[arg-type]
+        return rows[-1] if rows else None
+
+    def run(self, run_id: int) -> RunRow:
+        row = self._db.execute(
+            "SELECT id, git_rev, bench, scenario, scale, seed, policy,"
+            " recorded_at, payload FROM runs WHERE id = ?",
+            (run_id,),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no run {run_id}")
+        return _run_row(row)
+
+    def metrics(self, run_id: int) -> dict[str, int | float]:
+        """One run's flattened metrics (ints restored to int)."""
+        rows = self._db.execute(
+            "SELECT name, value, is_int FROM metrics WHERE run_id = ?"
+            " ORDER BY name",
+            (run_id,),
+        )
+        return {
+            name: int(value) if is_int else value for name, value, is_int in rows
+        }
+
+    def pair_metrics(
+        self,
+        run_id: int,
+        *,
+        report: str | None = None,
+        transport: str | None = None,
+        metric: str | None = None,
+    ) -> list[tuple[str, str, str, str, str, float]]:
+        """``(report, src, dst, transport, metric, value)`` rows."""
+        clauses: list[str] = ["run_id = ?"]
+        params: list[object] = [run_id]
+        for column, value in (
+            ("report", report),
+            ("transport", transport),
+            ("metric", metric),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        rows = self._db.execute(
+            "SELECT report, src, dst, transport, metric, value FROM pair_metrics"
+            f" WHERE {' AND '.join(clauses)}"
+            " ORDER BY report, src, dst, transport, metric",
+            params,
+        )
+        return list(rows)
+
+    def perf_rows(self, run_id: int) -> list[tuple[str, str, float, float, float]]:
+        """``(kind, name, count, total_s, cpu_s)`` rows for one run."""
+        rows = self._db.execute(
+            "SELECT kind, name, count, total_s, cpu_s FROM perf"
+            " WHERE run_id = ? ORDER BY kind, name",
+            (run_id,),
+        )
+        return list(rows)
+
+    def trajectory(
+        self, bench: str, metric: str, **filters: object
+    ) -> list[TrajectoryPoint]:
+        """One metric's recorded history, oldest first.
+
+        Runs that never recorded the metric are skipped — a trajectory
+        crosses payload-shape changes without faking zeros.
+        """
+        points = []
+        for row in self.runs(bench, **filters):  # type: ignore[arg-type]
+            value = self._db.execute(
+                "SELECT value, is_int FROM metrics WHERE run_id = ? AND name = ?",
+                (row.id, metric),
+            ).fetchone()
+            if value is None:
+                continue
+            raw, is_int = value
+            points.append(
+                TrajectoryPoint(
+                    run_id=row.id,
+                    git_rev=row.git_rev,
+                    recorded_at=row.recorded_at,
+                    value=int(raw) if is_int else raw,
+                )
+            )
+        return points
+
+    # ------------------------------------------------------------------ #
+    # regression
+    # ------------------------------------------------------------------ #
+
+    def regression(
+        self,
+        bench: str,
+        *,
+        metrics: Iterable[str | Gate] | None = None,
+        rtol: float = REGRESSION_RTOL,
+        atol: float = DEFAULT_ATOL,
+        baseline_rev: str | None = None,
+        **filters: object,
+    ) -> RegressionReport:
+        """Check the latest ``bench`` run against its baseline.
+
+        The baseline is the newest earlier run recorded at a *different*
+        git rev (so re-running a bench twice on one commit compares
+        against history, not itself), falling back to the previous row;
+        ``baseline_rev`` pins it explicitly.  ``metrics`` selects the
+        gated columns — strings with an optional ``+``/``-`` direction
+        prefix, or :class:`Gate` values carrying their own tolerance.
+        ``None`` gates every metric the two runs share, two-sided at
+        ``rtol`` (ints exact, the differ's contract).
+
+        Directional gates never fail on improvement: when the latest
+        value is at least as good as the baseline the comparison is
+        satisfied before the differ runs.
+        """
+        rows = self.runs(bench, **filters)  # type: ignore[arg-type]
+        if not rows:
+            return RegressionReport(
+                bench, None, None, ToleranceDiff(key=bench, missing=True)
+            )
+        latest = rows[-1]
+        baseline = _pick_baseline(rows, baseline_rev)
+        if baseline is None:
+            return RegressionReport(
+                bench, latest, None, ToleranceDiff(key=bench, missing=True)
+            )
+        base_metrics = self.metrics(baseline.id)
+        new_metrics = self.metrics(latest.id)
+        key = (
+            f"{bench}: {baseline.git_rev} ({baseline.recorded_at})"
+            f" -> {latest.git_rev} ({latest.recorded_at})"
+        )
+        diff = ToleranceDiff(key=key)
+        if metrics is None:
+            shared = sorted(base_metrics.keys() & new_metrics.keys())
+            golden = {name: base_metrics[name] for name in shared}
+            actual = {name: new_metrics[name] for name in shared}
+            diff.mismatches.extend(
+                diff_reports(golden, actual, key=key, rtol=rtol, atol=atol).mismatches
+            )
+            return RegressionReport(bench, latest, baseline, diff)
+        for gate in metrics:
+            if isinstance(gate, str):
+                gate = Gate(gate, rtol=rtol, atol=atol)
+            name = gate.name
+            missing = name not in base_metrics, name not in new_metrics
+            if all(missing):
+                continue  # metric predates both runs — nothing to gate
+            golden = {} if missing[0] else {name: base_metrics[name]}
+            actual = {} if missing[1] else {name: new_metrics[name]}
+            if golden and actual:
+                actual = {name: _clamp_improvement(
+                    gate.direction, base_metrics[name], new_metrics[name]
+                )}
+            diff.mismatches.extend(
+                diff_reports(
+                    golden, actual, key=key, rtol=gate.rtol, atol=gate.atol
+                ).mismatches
+            )
+        return RegressionReport(bench, latest, baseline, diff)
+
+    # ------------------------------------------------------------------ #
+    # portable history (the committable text form)
+    # ------------------------------------------------------------------ #
+
+    def export_jsonl(self, path: str | Path | None = None) -> str:
+        """Every run as one canonical JSON object per line, oldest first.
+
+        The committable text form of the store: exporting, importing
+        into a fresh store and exporting again is byte-identical.
+        """
+        lines = []
+        for row in self.runs():
+            key = row.key
+            lines.append(
+                json.dumps(
+                    {
+                        "bench": key.bench,
+                        "git_rev": key.git_rev,
+                        "payload": row.payload,
+                        "policy": key.policy,
+                        "recorded_at": key.recorded_at,
+                        "scale": key.scale,
+                        "scenario": key.scenario,
+                        "seed": key.seed,
+                    },
+                    sort_keys=True,
+                    separators=(",", ": "),
+                )
+            )
+        text = "".join(line + "\n" for line in lines)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def import_jsonl(self, source: str | Path) -> list[int]:
+        """Append runs from a :meth:`export_jsonl` file; returns run ids.
+
+        Pair/perf tables are not round-tripped (they are derived views;
+        metrics are re-flattened from each payload).
+        """
+        text = Path(source).read_text(encoding="utf-8")
+        run_ids = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            key = RunKey(
+                bench=entry["bench"],
+                scenario=entry.get("scenario", ""),
+                scale=entry.get("scale", ""),
+                seed=int(entry.get("seed", 0)),
+                policy=entry.get("policy", ""),
+                git_rev=entry.get("git_rev", "unknown"),
+                recorded_at=entry["recorded_at"],
+            )
+            run_ids.append(self.record_run(key, entry["payload"]))
+        return run_ids
+
+
+def _pick_baseline(rows: list[RunRow], baseline_rev: str | None) -> RunRow | None:
+    latest = rows[-1]
+    if baseline_rev is not None:
+        for row in reversed(rows[:-1]):
+            if row.git_rev == baseline_rev:
+                return row
+        return None
+    for row in reversed(rows[:-1]):
+        if row.git_rev != latest.git_rev:
+            return row
+    return rows[-2] if len(rows) > 1 else None
+
+
+def _clamp_improvement(
+    direction: str, baseline: int | float, latest: int | float
+) -> int | float:
+    """For directional gates, an improvement compares as 'unchanged'."""
+    if direction == "+" and latest >= baseline:
+        return baseline
+    if direction == "-" and latest <= baseline:
+        return baseline
+    return latest
+
+
+def _run_row(row: tuple) -> RunRow:
+    run_id, git_rev, bench, scenario, scale, seed, policy, recorded_at, payload = row
+    return RunRow(
+        id=int(run_id),
+        key=RunKey(
+            bench=bench,
+            scenario=scenario,
+            scale=scale,
+            seed=int(seed),
+            policy=policy,
+            git_rev=git_rev,
+            recorded_at=recorded_at,
+        ),
+        payload=json.loads(payload),
+    )
+
+
+def _perf_rows(
+    run_id: int, perf_dict: Mapping
+) -> Iterator[tuple[int, str, str, float, float, float]]:
+    for name, count in sorted(perf_dict.get("counters", {}).items()):
+        yield run_id, "counter", name, float(count), 0.0, 0.0
+    for name, entry in sorted(perf_dict.get("timers", {}).items()):
+        yield (
+            run_id,
+            "timer",
+            name,
+            float(entry.get("calls", 0)),
+            float(entry.get("total_s", 0.0)),
+            float(entry.get("cpu_s", 0.0)),
+        )

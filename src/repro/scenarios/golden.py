@@ -1,119 +1,39 @@
 """Golden-report regression checks for scenario matrix cells.
 
-Within one run, sequential-vs-sharded byte-identity is asserted exactly.
-*Committed* golden reports cross machine and library versions, where
-float arithmetic may differ in the low bits — so the differ compares
-structure, strings, bools and integer counts exactly, and floats within
-``rtol``/``atol``.  Every mismatch is reported with its dotted path into
-the report and both values, so a regression reads like a diff, not a
-boolean.
+The tolerance-aware differ itself lives in :mod:`repro.tolerance` (the
+results store's cross-commit :meth:`~repro.results.ResultsStore.regression`
+gate shares it); this module keeps the golden-file workflow — one
+committed JSON per cell key, a ``GOLDEN_REGEN=1`` regeneration knob, and
+the missing-golden bookkeeping.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
 from pathlib import Path
 
-#: Relative float tolerance for committed goldens (QoE percentiles move
-#: in the 4th digit across numpy builds, never by 5%).
-DEFAULT_RTOL = 0.05
-DEFAULT_ATOL = 1e-9
+from repro.tolerance import (
+    DEFAULT_ATOL,
+    DEFAULT_RTOL,
+    ToleranceDiff,
+    diff_reports,
+)
+
+#: Back-compat name: golden checks predate the shared differ.
+GoldenDiff = ToleranceDiff
 
 #: Environment knob: regenerate committed goldens instead of comparing.
 REGEN_ENV = "GOLDEN_REGEN"
 
-
-@dataclass(slots=True)
-class GoldenDiff:
-    """The comparison result for one cell."""
-
-    key: str
-    mismatches: list[str] = field(default_factory=list)
-    #: No committed golden existed for the key.
-    missing: bool = False
-
-    @property
-    def ok(self) -> bool:
-        return not self.mismatches and not self.missing
-
-    def render(self) -> str:
-        if self.missing:
-            return f"{self.key}: no golden committed"
-        if not self.mismatches:
-            return f"{self.key}: ok"
-        lines = [f"{self.key}: {len(self.mismatches)} mismatch(es)"]
-        lines.extend(f"  {mismatch}" for mismatch in self.mismatches)
-        return "\n".join(lines)
-
-
-def _diff_values(
-    path: str,
-    golden: object,
-    actual: object,
-    mismatches: list[str],
-    rtol: float,
-    atol: float,
-) -> None:
-    # bool is an int subclass — compare it exactly, as itself.
-    if isinstance(golden, bool) or isinstance(actual, bool):
-        if golden is not actual:
-            mismatches.append(f"{path}: golden {golden!r}, got {actual!r}")
-        return
-    if isinstance(golden, float) and isinstance(actual, (int, float)):
-        if abs(actual - golden) > atol + rtol * abs(golden):
-            mismatches.append(
-                f"{path}: golden {golden!r}, got {actual!r} "
-                f"(tolerance rtol={rtol}, atol={atol})"
-            )
-        return
-    if type(golden) is not type(actual):
-        mismatches.append(
-            f"{path}: type changed from {type(golden).__name__} "
-            f"to {type(actual).__name__}"
-        )
-        return
-    if isinstance(golden, dict):
-        for key in sorted(golden.keys() | actual.keys()):
-            child = f"{path}.{key}" if path else str(key)
-            if key not in actual:
-                mismatches.append(f"{child}: missing from report")
-            elif key not in golden:
-                mismatches.append(f"{child}: unexpected key (not in golden)")
-            else:
-                _diff_values(child, golden[key], actual[key], mismatches, rtol, atol)
-        return
-    if isinstance(golden, list):
-        if len(golden) != len(actual):
-            mismatches.append(
-                f"{path}: length changed from {len(golden)} to {len(actual)}"
-            )
-            return
-        for index, (g, a) in enumerate(zip(golden, actual)):
-            _diff_values(f"{path}[{index}]", g, a, mismatches, rtol, atol)
-        return
-    if golden != actual:
-        mismatches.append(f"{path}: golden {golden!r}, got {actual!r}")
-
-
-def diff_reports(
-    golden: dict,
-    actual: dict,
-    *,
-    key: str = "",
-    rtol: float = DEFAULT_RTOL,
-    atol: float = DEFAULT_ATOL,
-) -> GoldenDiff:
-    """Compare a report dict against its golden, tolerance-aware.
-
-    Ints, strings and bools must match exactly (counts are seed-stable);
-    floats within ``atol + rtol * |golden|``.  Structural drift (keys,
-    list lengths, types) always mismatches.
-    """
-    diff = GoldenDiff(key=key)
-    _diff_values("", golden, actual, diff.mismatches, rtol, atol)
-    return diff
+__all__ = [
+    "DEFAULT_ATOL",
+    "DEFAULT_RTOL",
+    "REGEN_ENV",
+    "GoldenDiff",
+    "GoldenStore",
+    "diff_reports",
+]
 
 
 class GoldenStore:

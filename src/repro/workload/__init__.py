@@ -56,7 +56,7 @@ from repro.workload.sharded import (
     ShardOutcome,
     ShardPlan,
     ShardTask,
-    WorldSpec,
+    ShardWorldTransportSpec,
     campaign_fingerprint,
     default_workers,
     partition_calls,
@@ -90,11 +90,11 @@ __all__ = [
     "ShardOutcome",
     "ShardPlan",
     "ShardTask",
+    "ShardWorldTransportSpec",
     "ShardedCampaignRun",
     "ShardedCampaignRunner",
     "User",
     "UserPopulation",
-    "WorldSpec",
     "call_rate_profile",
     "campaign_fingerprint",
     "default_workers",
@@ -106,3 +106,13 @@ __all__ = [
     "shard_seed",
     "warmup_manifest",
 ]
+
+
+def __getattr__(name: str) -> object:
+    # Deprecated alias, kept for one release after the rename to
+    # ShardWorldTransportSpec; the sharded module emits the warning.
+    if name == "WorldSpec":
+        from repro.workload import sharded
+
+        return sharded.WorldSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

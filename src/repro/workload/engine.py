@@ -48,6 +48,7 @@ hit rates are available without enabling perf.
 from __future__ import annotations
 
 import hashlib
+import json
 import time
 from dataclasses import dataclass
 from functools import lru_cache
@@ -353,6 +354,32 @@ class CampaignRun:
                 f"   {pair['vns_delay_win_rate']:8.1%}  {pair['vns_loss_win_rate']:8.1%}"
             )
         return "\n".join(lines)
+
+    def to_row(self) -> dict:
+        """Flat scalar summary (seed-deterministic; no wall clock)."""
+        stats = self.stats
+        row = {
+            "calls": stats.calls_total,
+            "calls_failed": stats.calls_failed,
+            "batches": stats.batches,
+            "largest_batch": stats.largest_batch,
+            "onward_cache_hit_rate": stats.onward_hit_rate,
+            "turn_allocations": self.report.turn_allocations,
+            "pairs": len(self.report.pairs),
+        }
+        steering = self.report.steering
+        if steering is not None:
+            row["steering.offload_rate"] = steering["offload_rate"]
+            row["steering.detour_calls"] = steering["detour_calls"]
+            row["steering.backbone_saved_fraction"] = steering[
+                "backbone_saved_fraction"
+            ]
+        return row
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Canonical JSON: the full report plus the flat summary row."""
+        payload = {"report": self.report.to_dict(), "row": self.to_row()}
+        return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 @dataclass(slots=True)

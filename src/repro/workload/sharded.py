@@ -128,7 +128,7 @@ class ShardExecutionError(RuntimeError):
 
 
 @dataclass(frozen=True, slots=True)
-class WorldSpec:
+class ShardWorldTransportSpec:
     """A recipe for rebuilding a world inside a worker process.
 
     The ``rebuild`` transport ships this tiny value instead of a pickled
@@ -180,7 +180,8 @@ class ShardPlan:
         fraction of the full pickle's bytes and unpickle time;
         ``"pickle"`` ships the full live service (the fallback when a
         worker must mutate its world); ``"rebuild"`` ships a
-        :class:`WorldSpec` and each worker builds its own copy.
+        :class:`ShardWorldTransportSpec` and each worker builds its own
+        copy.
     shard_timeout_s:
         Upper bound on each wait for *progress*; ``None`` waits forever.
         When no shard completes within the window, every pending shard
@@ -370,6 +371,15 @@ class ShardedCampaignRun(CampaignRun):
             for outcome in self.shards
         )
 
+    def to_row(self) -> dict:
+        """The sequential row plus the fan-out's deterministic shape."""
+        row = super().to_row()
+        row["shards"] = len(self.shards)
+        row["shard_retries"] = sum(
+            outcome.attempts for outcome in self.shards
+        ) - len(self.shards)
+        return row
+
 
 # --------------------------------------------------------------------- #
 # partitioning and warmup manifests
@@ -503,7 +513,7 @@ def _init_worker(payload: tuple[str, object, object]) -> None:
     if kind in ("pickle", "frozen"):
         service = pickle.loads(data)  # type: ignore[arg-type]
     else:
-        assert isinstance(data, WorldSpec)
+        assert isinstance(data, ShardWorldTransportSpec)
         service = data.build_service()
     ship_s = time.perf_counter() - started
     caches = _fresh_caches()
@@ -629,7 +639,7 @@ class CampaignWorkerPool:
         *,
         workers: int | None = None,
         world_transport: str = "frozen",
-        world_spec: WorldSpec | None = None,
+        world_spec: ShardWorldTransportSpec | None = None,
     ) -> None:
         if world_transport not in WORLD_TRANSPORTS:
             raise ValueError(
@@ -880,7 +890,7 @@ class ShardedCampaignRunner:
         config: CampaignConfig | None = None,
         plan: ShardPlan | None = None,
         *,
-        world_spec: WorldSpec | None = None,
+        world_spec: ShardWorldTransportSpec | None = None,
         steering: "SteeringEngine | None" = None,
         path_model: "PathModel | None" = None,
         pool: CampaignWorkerPool | None = None,
@@ -1270,3 +1280,23 @@ class ShardedCampaignRunner:
             perf_snapshot=merged_perf,
             pool_stats=getattr(self, "_pool_stats", None),
         )
+
+
+def __getattr__(name: str) -> object:
+    # Deprecated alias, kept for one release: the canonical
+    # ``repro.WorldSpec`` is now the scenarios value object
+    # (``repro.scenarios.spec.WorldSpec``); this module's recipe class is
+    # ``ShardWorldTransportSpec``.
+    if name == "WorldSpec":
+        import warnings
+
+        warnings.warn(
+            "repro.workload.sharded.WorldSpec was renamed to"
+            " ShardWorldTransportSpec (repro.WorldSpec is now the"
+            " scenarios world spec); the alias will be removed next"
+            " release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ShardWorldTransportSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,36 @@
+"""Shared fixtures for the results-store tests (all in-memory / tmp)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.results import ResultsStore, RunKey
+
+
+@pytest.fixture
+def store() -> ResultsStore:
+    with ResultsStore(":memory:") as opened:
+        yield opened
+
+
+def record_simple(
+    store: ResultsStore,
+    bench: str,
+    payload: dict,
+    *,
+    rev: str,
+    recorded_at: str,
+    seed: int = 0,
+    **key_fields,
+) -> int:
+    """One-line run recording for tests (explicit rev + timestamp)."""
+    return store.record_run(
+        RunKey(
+            bench=bench,
+            seed=seed,
+            git_rev=rev,
+            recorded_at=recorded_at,
+            **key_fields,
+        ),
+        payload,
+    )

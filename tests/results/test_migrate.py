@@ -1,0 +1,104 @@
+"""Migration of the four committed ``BENCH_*.json`` baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.results import (
+    CI_GATES,
+    find_legacy_snapshots,
+    legacy_bench_name,
+    migrate_bench_json,
+    migrate_repo,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+COMMITTED = ("scale", "scenario_matrix", "steering", "workload")
+
+
+class TestNames:
+    def test_legacy_bench_name(self):
+        assert legacy_bench_name("BENCH_workload.json") == "workload"
+        assert legacy_bench_name(Path("/x/BENCH_scenario_matrix.json")) == (
+            "scenario_matrix"
+        )
+
+    @pytest.mark.parametrize("bad", ["workload.json", "BENCH_x.txt", "x"])
+    def test_rejects_other_names(self, bad):
+        with pytest.raises(ValueError):
+            legacy_bench_name(bad)
+
+    def test_finds_the_committed_four(self):
+        names = tuple(
+            legacy_bench_name(path) for path in find_legacy_snapshots(REPO_ROOT)
+        )
+        assert names == COMMITTED
+
+
+class TestMigrateCommittedBaselines:
+    def test_all_four_become_queryable_runs(self, store):
+        migrated = migrate_repo(
+            store, REPO_ROOT, rev="seed", recorded_at="2026-01-01T00:00:00Z"
+        )
+        assert tuple(sorted(migrated)) == COMMITTED
+        for bench, run_id in migrated.items():
+            row = store.latest(bench)
+            assert row is not None and row.id == run_id
+            assert row.git_rev == "seed"
+            assert store.metrics(run_id), bench
+
+    def test_seed_comes_from_the_payload(self, store):
+        run_id = migrate_bench_json(
+            store,
+            REPO_ROOT / "BENCH_workload.json",
+            rev="seed",
+            recorded_at="2026-01-01T00:00:00Z",
+        )
+        assert store.run(run_id).key.seed == 7
+
+    def test_gated_metrics_exist_in_migrated_rows(self, store):
+        """Every CI gate resolves against the committed baselines."""
+        migrated = migrate_repo(
+            store, REPO_ROOT, rev="seed", recorded_at="2026-01-01T00:00:00Z"
+        )
+        for bench, gates in CI_GATES.items():
+            metrics = store.metrics(migrated[bench])
+            for gate in gates:
+                assert gate.name in metrics, f"{bench}: {gate.name}"
+
+    def test_payload_round_trips_the_file(self, store):
+        path = REPO_ROOT / "BENCH_scale.json"
+        run_id = migrate_bench_json(
+            store, path, rev="seed", recorded_at="2026-01-01T00:00:00Z"
+        )
+        assert store.run(run_id).payload == json.loads(
+            path.read_text(encoding="utf-8")
+        )
+
+    def test_non_object_snapshot_rejected(self, store, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("[1, 2]\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            migrate_bench_json(store, bad)
+
+
+class TestCommittedHistoryFile:
+    """The committed JSONL history matches the committed baselines."""
+
+    HISTORY = REPO_ROOT / "benchmarks" / "results" / "history.jsonl"
+
+    def test_history_carries_all_four_benches(self, store):
+        run_ids = store.import_jsonl(self.HISTORY)
+        assert tuple(sorted(store.benches())) == COMMITTED
+        assert len(run_ids) == len(COMMITTED)
+
+    def test_history_payloads_match_committed_snapshots(self, store):
+        store.import_jsonl(self.HISTORY)
+        for bench in COMMITTED:
+            committed = json.loads(
+                (REPO_ROOT / f"BENCH_{bench}.json").read_text(encoding="utf-8")
+            )
+            assert store.latest(bench).payload == committed, bench

@@ -1,0 +1,132 @@
+"""The unified ``record()`` write path: legacy bytes + store rows."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.results import (
+    GIT_REV_ENV,
+    STORE_ENV,
+    ResultsStore,
+    default_store_path,
+    record,
+    record_experiment,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestLegacySnapshotBytes:
+    def test_committed_snapshot_is_byte_stable(self, tmp_path):
+        """record() re-emits BENCH_workload.json exactly as committed."""
+        committed = REPO_ROOT / "BENCH_workload.json"
+        original = committed.read_text(encoding="utf-8")
+        out = tmp_path / "BENCH_workload.json"
+        record(
+            "workload",
+            json.loads(original),
+            json_path=out,
+            store=tmp_path / "store.sqlite",
+            seed=7,
+        )
+        assert out.read_text(encoding="utf-8") == original
+
+    def test_snapshot_shape(self, tmp_path):
+        out = tmp_path / "BENCH_demo.json"
+        record("demo", {"b": 2, "a": 1}, json_path=out,
+               store=tmp_path / "s.sqlite",
+               rev="abc", recorded_at="2026-01-01T00:00:00Z")
+        assert out.read_text(encoding="utf-8") == (
+            '{\n  "a": 1,\n  "b": 2\n}\n'
+        )
+
+
+class TestStoreRouting:
+    def test_explicit_store_path(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        recorded = record(
+            "demo",
+            {"calls": 3},
+            store=path,
+            scale="small",
+            seed=7,
+            rev="abc1234",
+            recorded_at="2026-01-01T00:00:00Z",
+        )
+        assert recorded.run_id is not None
+        assert recorded.store_path == path
+        with ResultsStore(path) as store:
+            row = store.latest("demo")
+            assert row.id == recorded.run_id
+            assert row.key.scale == "small"
+            assert row.key.seed == 7
+            assert store.metrics(row.id)["calls"] == 3
+
+    def test_open_store_instance(self, store):
+        recorded = record(
+            "demo", {"calls": 1}, store=store,
+            rev="abc", recorded_at="2026-01-01T00:00:00Z",
+        )
+        assert recorded.run_id is not None
+        assert recorded.store_path is None  # :memory: has no file
+        assert store.latest("demo").id == recorded.run_id
+
+    def test_env_disable_skips_store(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_ENV, "off")
+        assert default_store_path() is None
+        recorded = record(
+            "demo", {"calls": 1}, json_path=tmp_path / "BENCH_demo.json",
+            rev="abc", recorded_at="2026-01-01T00:00:00Z",
+        )
+        assert recorded.run_id is None
+        assert recorded.store_path is None
+        assert recorded.json_path is not None and recorded.json_path.exists()
+
+    def test_env_redirect(self, monkeypatch, tmp_path):
+        target = tmp_path / "redirected.sqlite"
+        monkeypatch.setenv(STORE_ENV, str(target))
+        assert default_store_path() == target
+        record("demo", {"calls": 1}, rev="abc",
+               recorded_at="2026-01-01T00:00:00Z")
+        with ResultsStore(target) as store:
+            assert store.latest("demo") is not None
+
+    def test_git_rev_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(GIT_REV_ENV, "ci_head")
+        recorded = record(
+            "demo", {"calls": 1}, store=tmp_path / "s.sqlite",
+            recorded_at="2026-01-01T00:00:00Z",
+        )
+        assert recorded.key.git_rev == "ci_head"
+
+
+class _StubResult:
+    """A minimal uniform-API experiment result."""
+
+    def render(self) -> str:
+        return "stub"
+
+    def to_row(self) -> dict:
+        return {"calls": 5, "rate": 0.5}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(
+            {"report": {"pairs": {"EU->NA": {"calls": 5}}}},
+            indent=indent,
+            sort_keys=True,
+        )
+
+
+class TestRecordExperiment:
+    def test_payload_merges_row_and_ingests_pairs(self, store):
+        recorded = record_experiment(
+            "demo", _StubResult(), store=store,
+            rev="abc", recorded_at="2026-01-01T00:00:00Z",
+        )
+        row = store.run(recorded.run_id)
+        assert row.payload["row"] == {"calls": 5, "rate": 0.5}
+        metrics = store.metrics(recorded.run_id)
+        assert metrics["row.calls"] == 5
+        pairs = store.pair_metrics(recorded.run_id, metric="calls")
+        assert [(src, dst) for (_, src, dst, _, _, _) in pairs] == [("EU", "NA")]

@@ -1,0 +1,134 @@
+"""Cross-commit regression checks: tolerance edges and directional gates."""
+
+from __future__ import annotations
+
+from repro.results import Gate
+
+from .conftest import record_simple
+
+
+def seed_history(store, bench, values, *, metric="rate"):
+    """Record one run per value at distinct revs/timestamps."""
+    for index, value in enumerate(values):
+        record_simple(
+            store,
+            bench,
+            {metric: value},
+            rev=f"rev{index}",
+            recorded_at=f"2026-01-{index + 1:02d}T00:00:00Z",
+        )
+
+
+class TestTolerance:
+    def test_inside_tolerance_ok(self, store):
+        seed_history(store, "demo", [100.0, 109.0])
+        report = store.regression("demo", metrics=[Gate("rate", rtol=0.10)])
+        assert report.ok
+        assert report.baseline.git_rev == "rev0"
+        assert report.latest.git_rev == "rev1"
+
+    def test_at_tolerance_edge_ok(self, store):
+        # The differ's contract is <= rtol relative error: exactly-at passes.
+        seed_history(store, "demo", [100.0, 110.0])
+        assert store.regression("demo", metrics=[Gate("rate", rtol=0.10)]).ok
+
+    def test_outside_tolerance_fails(self, store):
+        seed_history(store, "demo", [100.0, 111.5])
+        report = store.regression("demo", metrics=[Gate("rate", rtol=0.10)])
+        assert not report.ok
+        assert "rate" in report.render()
+
+    def test_int_metrics_compare_exactly(self, store):
+        seed_history(store, "demo", [100, 101])
+        assert not store.regression("demo", metrics=[Gate("rate", rtol=0.25)]).ok
+        seed_history(store, "same", [100, 100])
+        assert store.regression("same", metrics=[Gate("rate")]).ok
+
+
+class TestDirectionalGates:
+    def test_higher_better_tolerates_any_improvement(self, store):
+        seed_history(store, "demo", [100.0, 400.0])
+        assert store.regression("demo", metrics=[Gate("+rate", rtol=0.10)]).ok
+
+    def test_higher_better_gates_a_drop(self, store):
+        seed_history(store, "demo", [100.0, 80.0])
+        assert not store.regression("demo", metrics=[Gate("+rate", rtol=0.10)]).ok
+        assert store.regression("demo", metrics=[Gate("+rate", rtol=0.25)]).ok
+
+    def test_lower_better_is_the_mirror(self, store):
+        seed_history(store, "demo", [100.0, 20.0])
+        assert store.regression("demo", metrics=[Gate("-rate", rtol=0.10)]).ok
+        seed_history(store, "worse", [100.0, 130.0])
+        assert not store.regression("worse", metrics=[Gate("-rate", rtol=0.10)]).ok
+
+    def test_gate_name_strips_direction(self):
+        assert Gate("+a.b").name == "a.b"
+        assert Gate("-a.b").direction == "-"
+        assert Gate("a.b").direction == ""
+
+
+class TestBaselineSelection:
+    def test_prefers_newest_earlier_different_rev(self, store):
+        record_simple(
+            store, "demo", {"rate": 100.0}, rev="old",
+            recorded_at="2026-01-01T00:00:00Z",
+        )
+        # Two local re-runs on the same rev: the gate must compare the
+        # newest against "old", not against the sibling same-rev row.
+        for hour in (1, 2):
+            record_simple(
+                store, "demo", {"rate": 100.0 + hour}, rev="head",
+                recorded_at=f"2026-01-02T0{hour}:00:00Z",
+            )
+        report = store.regression("demo", metrics=[Gate("rate", rtol=0.10)])
+        assert report.baseline.git_rev == "old"
+        assert report.latest.recorded_at == "2026-01-02T02:00:00Z"
+
+    def test_falls_back_to_previous_same_rev_row(self, store):
+        for hour in (1, 2):
+            record_simple(
+                store, "demo", {"rate": 100.0}, rev="head",
+                recorded_at=f"2026-01-02T0{hour}:00:00Z",
+            )
+        report = store.regression("demo", metrics=[Gate("rate")])
+        assert report.baseline is not None
+        assert report.baseline.recorded_at == "2026-01-02T01:00:00Z"
+
+    def test_pinned_baseline_rev(self, store):
+        seed_history(store, "demo", [100.0, 200.0, 210.0])
+        report = store.regression(
+            "demo", metrics=[Gate("rate", rtol=0.10)], baseline_rev="rev0"
+        )
+        assert report.baseline.git_rev == "rev0"
+        assert not report.ok  # 210 vs the pinned 100
+
+    def test_single_run_is_vacuously_ok(self, store):
+        seed_history(store, "demo", [100.0])
+        report = store.regression("demo", metrics=[Gate("rate")])
+        assert report.ok
+        assert report.baseline is None
+        assert "no baseline" in report.render()
+
+    def test_empty_bench_is_vacuously_ok(self, store):
+        report = store.regression("demo", metrics=[Gate("rate")])
+        assert report.ok
+        assert "no runs" in report.render()
+
+
+class TestGateCoverage:
+    def test_metric_absent_from_both_runs_is_skipped(self, store):
+        seed_history(store, "demo", [100.0, 100.0])
+        assert store.regression("demo", metrics=[Gate("never.recorded")]).ok
+
+    def test_default_gates_every_shared_metric(self, store):
+        record_simple(
+            store, "demo", {"a": 1.0, "b": 5.0, "old_only": 1.0},
+            rev="rev0", recorded_at="2026-01-01T00:00:00Z",
+        )
+        record_simple(
+            store, "demo", {"a": 1.0, "b": 50.0, "new_only": 1.0},
+            rev="rev1", recorded_at="2026-01-02T00:00:00Z",
+        )
+        report = store.regression("demo")
+        assert not report.ok  # b moved 10x
+        assert "old_only" not in report.render()
